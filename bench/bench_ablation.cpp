@@ -1,0 +1,165 @@
+// Ablations of the design choices behind the paper's result:
+//  (a) the preemption window [T-dw, T+dw): what happens to slot counts if
+//      occupants are never preemptable (hold to T+dw) or always evicted at
+//      T-dw (no free performance top-up)?
+//  (b) Tw granularity: coarser dwell tables vs. provisioning quality;
+//  (c) mapping heuristic: first-fit vs best-fit, and the paper's sort
+//      order vs alternatives.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "mapping/first_fit.h"
+#include "sched/slot_scheduler.h"
+#include "verify/discrete.h"
+
+namespace {
+
+using namespace ttdim;
+using mapping::SlotAssignment;
+using verify::AppTiming;
+
+std::vector<AppTiming> case_timings() {
+  std::vector<AppTiming> out;
+  for (const casestudy::App& app : casestudy::all_apps())
+    out.push_back(bench::timing_of(app));
+  return out;
+}
+
+/// Occupants hold to T+dw and are never preemptable in between.
+AppTiming no_preemption_variant(AppTiming t) {
+  t.t_minus = t.t_plus;
+  return t;
+}
+
+/// Occupants are always evicted at T-dw (no performance top-up).
+AppTiming eager_evict_variant(AppTiming t) {
+  t.t_plus = t.t_minus;
+  return t;
+}
+
+mapping::SlotOracle model_checking_oracle() {
+  return [](const std::vector<AppTiming>& slot_apps) {
+    return verify::DiscreteVerifier(slot_apps).verify().safe;
+  };
+}
+
+void print_slots(const char* label, const std::vector<AppTiming>& apps,
+                 const SlotAssignment& a, int oracle_calls) {
+  std::printf("%-42s %d slot(s), %2d admission checks: ", label,
+              a.slot_count(), oracle_calls);
+  for (const std::vector<int>& slot : a.slots) {
+    std::printf("{");
+    for (size_t j = 0; j < slot.size(); ++j)
+      std::printf("%s%s", apps[static_cast<size_t>(slot[j])].name.c_str(),
+                  j + 1 < slot.size() ? "," : "");
+    std::printf("} ");
+  }
+  std::printf("\n");
+}
+
+void run_variant(const char* label,
+                 const std::vector<AppTiming>& apps,
+                 mapping::SortOrder order_kind, bool use_best_fit) {
+  mapping::CountingOracle counter(model_checking_oracle());
+  const std::vector<int> order = mapping::sort_order(apps, order_kind);
+  const SlotAssignment a =
+      use_best_fit ? mapping::best_fit(apps, order, counter.oracle())
+                   : mapping::first_fit(apps, order, counter.oracle());
+  print_slots(label, apps, a, counter.calls());
+}
+
+void report() {
+  std::printf("==== Ablations: preemption window, granularity, mapping "
+              "heuristic ====\n");
+  const std::vector<AppTiming> paper = case_timings();
+
+  std::printf("\n(a) strategy variants (admission: exact model checking)\n");
+  run_variant("paper: preemptable in [T-dw, T+dw)", paper,
+              mapping::SortOrder::kPaper, false);
+  std::vector<AppTiming> no_preempt;
+  std::vector<AppTiming> eager;
+  for (const AppTiming& t : paper) {
+    no_preempt.push_back(no_preemption_variant(t));
+    eager.push_back(eager_evict_variant(t));
+  }
+  run_variant("no preemption (hold to T+dw)", no_preempt,
+              mapping::SortOrder::kPaper, false);
+  run_variant("eager eviction (always leave at T-dw)", eager,
+              mapping::SortOrder::kPaper, false);
+
+  std::printf("\n(b) Tw granularity (dwell tables coarsened, conservative "
+              "round-up)\n");
+  for (int g : {1, 2, 4}) {
+    std::vector<AppTiming> coarse;
+    for (const casestudy::App& app : casestudy::all_apps()) {
+      const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+      auto spec = bench::dwell_spec(app);
+      spec.tw_granularity = g;
+      coarse.push_back(verify::make_app_timing(
+          app.name, switching::compute_dwell_tables(loop, spec),
+          app.min_interarrival));
+    }
+    run_variant(("granularity " + std::to_string(g)).c_str(), coarse,
+                mapping::SortOrder::kPaper, false);
+  }
+
+  std::printf("\n(b2) slack-aware preemption postponement (paper Sec. 6 "
+              "future work)\n");
+  {
+    verify::DiscreteVerifier::Options slack;
+    slack.policy = verify::SlotPolicy::kSlackAware;
+    const std::vector<AppTiming> s1{paper[0], paper[4], paper[3], paper[2]};
+    const std::vector<AppTiming> s2{paper[5], paper[1]};
+    std::printf("  S1 verified under slack-aware policy: %s\n",
+                verify::DiscreteVerifier(s1).verify(slack).safe ? "safe"
+                                                                : "UNSAFE");
+    std::printf("  S2 verified under slack-aware policy: %s\n",
+                verify::DiscreteVerifier(s2).verify(slack).safe ? "safe"
+                                                                : "UNSAFE");
+    // Occupant benefit on a light scenario: C1 disturbed, C5 two samples
+    // later.
+    sched::Scenario sc;
+    sc.horizon = 60;
+    sc.disturbances = {{0}, {2}};
+    const std::vector<AppTiming> pair{paper[0], paper[4]};
+    const auto count_tt = [&](verify::SlotPolicy policy) {
+      const sched::ScheduleResult r = sched::simulate_slot(pair, sc, policy);
+      int n = 0;
+      for (bool b : r.tt_mask[0]) n += b ? 1 : 0;
+      return n;
+    };
+    std::printf("  C1 TT samples, paper policy: %d; slack-aware: %d "
+                "(longer dwell -> better settling, same guarantees)\n",
+                count_tt(verify::SlotPolicy::kPaper),
+                count_tt(verify::SlotPolicy::kSlackAware));
+  }
+
+  std::printf("\n(c) mapping heuristic\n");
+  run_variant("first-fit, paper order", paper, mapping::SortOrder::kPaper,
+              false);
+  run_variant("first-fit, input order", paper, mapping::SortOrder::kInput,
+              false);
+  run_variant("first-fit, descending T*w", paper,
+              mapping::SortOrder::kTstarDescending, false);
+  run_variant("best-fit, paper order", paper, mapping::SortOrder::kPaper,
+              true);
+  std::printf("\n");
+}
+
+void BM_AblationNoPreemptAdmission(benchmark::State& state) {
+  std::vector<AppTiming> no_preempt;
+  for (const AppTiming& t : case_timings())
+    no_preempt.push_back(no_preemption_variant(t));
+  // Same S1 population as the paper's hard instance.
+  const std::vector<AppTiming> slot{no_preempt[0], no_preempt[4],
+                                    no_preempt[3], no_preempt[2]};
+  const verify::DiscreteVerifier verifier(slot);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.verify());
+  }
+}
+BENCHMARK(BM_AblationNoPreemptAdmission)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

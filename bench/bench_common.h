@@ -1,0 +1,43 @@
+// Shared helpers for the bench binaries: case-study timing extraction and
+// the print-then-benchmark main.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "casestudy/apps.h"
+#include "control/sim.h"
+#include "switching/dwell.h"
+#include "verify/app_timing.h"
+
+namespace ttdim::bench {
+
+inline switching::DwellAnalysisSpec dwell_spec(const casestudy::App& app) {
+  switching::DwellAnalysisSpec spec;
+  spec.settling_requirement = app.settling_requirement;
+  spec.settling = control::SettlingSpec{casestudy::kSettlingTol, 3000};
+  return spec;
+}
+
+inline switching::DwellTables tables_of(const casestudy::App& app) {
+  const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+  return switching::compute_dwell_tables(loop, dwell_spec(app));
+}
+
+inline verify::AppTiming timing_of(const casestudy::App& app) {
+  return verify::make_app_timing(app.name, tables_of(app),
+                                 app.min_interarrival);
+}
+
+}  // namespace ttdim::bench
+
+/// Every bench binary prints its reproduced artefact once, then runs the
+/// registered google-benchmark timings.
+#define TTDIM_BENCH_MAIN(report_fn)                  \
+  int main(int argc, char** argv) {                  \
+    report_fn();                                     \
+    ::benchmark::Initialize(&argc, argv);            \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();           \
+    ::benchmark::Shutdown();                         \
+    return 0;                                        \
+  }

@@ -1,0 +1,86 @@
+// Reproduces Fig. 2 of the paper: response curves of the DC-motor position
+// system under five strategies — pure KT, pure KsE, pure KuE, and the
+// 4 ME + 4 MT + ME switching pattern with the stable and the unstable
+// gain pair. Prints the y(t) series and the settling times the paper
+// quotes (0.18 s, 0.68 s, 0.28 s, 0.58 s), then benchmarks the switched
+// simulation.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ttdim;
+
+struct Curve {
+  const char* label;
+  control::Trace trace;
+  double settling_s = -1.0;
+};
+
+std::vector<Curve> curves() {
+  const casestudy::App app = casestudy::c1();
+  const control::SwitchedLoop stable(app.plant, app.kt,
+                                     casestudy::ke_stable());
+  const control::SwitchedLoop unstable(app.plant, app.kt,
+                                       casestudy::ke_unstable());
+  const control::SettlingSpec spec{casestudy::kSettlingTol, 2000};
+  const double h = app.plant.h();
+
+  std::vector<Curve> out;
+  const auto add = [&](const char* label, const control::SwitchedLoop& loop,
+                       int wait, int dwell) {
+    Curve c{label, loop.simulate_pattern(wait, dwell, spec), -1.0};
+    const auto j = control::settling_samples(c.trace, spec.abs_tol);
+    if (j.has_value()) c.settling_s = *j * h;
+    out.push_back(std::move(c));
+  };
+  add("KT", stable, 0, spec.horizon);          // always in MT
+  add("KsE", stable, 0, 0);                    // never in MT
+  add("KuE", unstable, 0, 0);
+  add("4KsE+4KT+KsE", stable, 4, 4);           // paper's stable pattern
+  add("4KuE+4KT+KuE", unstable, 4, 4);         // paper's unstable pattern
+  return out;
+}
+
+void report() {
+  std::printf("==== Fig. 2: response curves (DC motor, Sec. 3.1) ====\n");
+  const std::vector<Curve> cs = curves();
+  std::printf("settling times (paper: KT 0.18, KsE/KuE 0.68, stable "
+              "pattern 0.28, unstable pattern 0.58 s):\n");
+  for (const Curve& c : cs)
+    std::printf("  %-14s J = %.2f s\n", c.label, c.settling_s);
+  std::printf("\ny(t) series, t = 0..1 s step 0.04 s:\n%-8s", "t");
+  for (const Curve& c : cs) std::printf("%14s", c.label);
+  std::printf("\n");
+  for (size_t k = 0; k < 50; k += 2) {
+    std::printf("%-8.2f", k * 0.02);
+    for (const Curve& c : cs) std::printf("%14.4f", c.trace[k].y);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_SwitchedPattern(benchmark::State& state) {
+  const casestudy::App app = casestudy::c1();
+  const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+  const control::SettlingSpec spec{casestudy::kSettlingTol, 2000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.settling_of_pattern(4, 4, spec));
+  }
+}
+BENCHMARK(BM_SwitchedPattern)->Unit(benchmark::kMicrosecond);
+
+void BM_PureModeSimulation(benchmark::State& state) {
+  const casestudy::App app = casestudy::c1();
+  const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+  const control::SettlingSpec spec{casestudy::kSettlingTol, 2000};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.simulate_pattern(0, 0, spec));
+  }
+}
+BENCHMARK(BM_PureModeSimulation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

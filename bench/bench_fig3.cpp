@@ -1,0 +1,97 @@
+// Reproduces Fig. 3 of the paper: settling time as a function of wait time
+// Tw and dwell time Tdw for the DC-motor system, once with the
+// switching-stable pair KT + KsE and once with the unstable pair KT + KuE.
+// The paper's message: the unstable pair's surface sits strictly above —
+// designing without switching stability wastes resources. Prints both
+// surfaces and the dominance statistics, then benchmarks the settling-map
+// computation.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ttdim;
+
+constexpr int kWaitCount = 41;   // Tw = 0..40 samples (0..0.8 s)
+constexpr int kDwellCount = 11;  // Tdw = 0..10 samples
+
+switching::SettlingMap map_for(const control::Matrix& ke) {
+  const casestudy::App app = casestudy::c1();
+  const control::SwitchedLoop loop(app.plant, app.kt, ke);
+  return switching::compute_settling_map(
+      loop, kWaitCount, kDwellCount,
+      control::SettlingSpec{casestudy::kSettlingTol, 2500});
+}
+
+void print_surface(const char* label, const switching::SettlingMap& map) {
+  const double h = casestudy::kSamplingPeriod;
+  std::printf("%s: settling time (s) over Tw (rows, step 4) x Tdw "
+              "(cols)\n      ", label);
+  for (int d = 0; d < kDwellCount; ++d) std::printf("%6d", d);
+  std::printf("\n");
+  for (int w = 0; w < kWaitCount; w += 4) {
+    std::printf("Tw=%2d ", w);
+    for (int d = 0; d < kDwellCount; ++d) {
+      const auto& j = map.at(w, d);
+      if (j.has_value())
+        std::printf("%6.2f", *j * h);
+      else
+        std::printf("%6s", "-");
+    }
+    std::printf("\n");
+  }
+}
+
+void report() {
+  std::printf("==== Fig. 3: performance with and without switching "
+              "stability ====\n");
+  const switching::SettlingMap stable = map_for(casestudy::ke_stable());
+  const switching::SettlingMap unstable = map_for(casestudy::ke_unstable());
+  print_surface("KT + KsE (switching stable)", stable);
+  std::printf("\n");
+  print_surface("KT + KuE (not switching stable)", unstable);
+
+  long stable_wins = 0;
+  long ties = 0;
+  long unstable_wins = 0;
+  int worst_stable = 0;
+  int worst_unstable = 0;
+  for (int w = 0; w < kWaitCount; ++w) {
+    for (int d = 0; d < kDwellCount; ++d) {
+      const auto& js = stable.at(w, d);
+      const auto& ju = unstable.at(w, d);
+      if (js.has_value()) worst_stable = std::max(worst_stable, *js);
+      if (ju.has_value()) worst_unstable = std::max(worst_unstable, *ju);
+      if (!js.has_value() || !ju.has_value()) continue;
+      if (*js < *ju)
+        ++stable_wins;
+      else if (*ju < *js)
+        ++unstable_wins;
+      else
+        ++ties;
+    }
+  }
+  const double h = casestudy::kSamplingPeriod;
+  std::printf("\nstable pair better at %ld points, equal at %ld, worse at "
+              "%ld\n",
+              stable_wins, ties, unstable_wins);
+  std::printf("worst settling: stable %.2f s, unstable %.2f s (paper "
+              "surface tops out near 1 s)\n\n",
+              worst_stable * h, worst_unstable * h);
+}
+
+void BM_SettlingMap(benchmark::State& state) {
+  const casestudy::App app = casestudy::c1();
+  const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+  const control::SettlingSpec spec{casestudy::kSettlingTol, 2500};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(switching::compute_settling_map(
+        loop, kWaitCount, kDwellCount, spec));
+  }
+}
+BENCHMARK(BM_SettlingMap)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

@@ -1,0 +1,68 @@
+// Reproduces Fig. 4 of the paper: minimum and maximum dwell times (T-dw,
+// T+dw) versus wait time Tw for the DC-motor system with J* = 0.36 s,
+// each point annotated with the achieved settling time — the data that
+// shows staying in MT until full rejection is overly pessimistic.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ttdim;
+
+void report() {
+  std::printf("==== Fig. 4: minimum and maximum dwell times vs wait time "
+              "(C1, J* = 0.36 s) ====\n");
+  const casestudy::App app = casestudy::c1();
+  const switching::DwellTables t = bench::tables_of(app);
+  const double h = app.plant.h();
+  std::printf("%4s  %6s %10s  %6s %10s\n", "Tw", "T-dw", "J@T- (s)", "T+dw",
+              "J@T+ (s)");
+  for (int w = 0; w <= t.t_star_w; ++w) {
+    std::printf("%4d  %6d %10.2f  %6d %10.2f\n", w,
+                t.t_minus[static_cast<size_t>(w)],
+                t.settling_at_minus[static_cast<size_t>(w)] * h,
+                t.t_plus[static_cast<size_t>(w)],
+                t.settling_at_plus[static_cast<size_t>(w)] * h);
+  }
+  std::printf("\npaper landmarks: at Tw = 0, T+dw = 6 achieves J = 0.18 s "
+              "(= JT); the best achievable settling time is non-decreasing "
+              "in Tw; beyond T*w = %d no dwell meets J* = %.2f s.\n",
+              t.t_star_w, app.settling_requirement * h);
+  // Verify the landmarks programmatically so regressions are loud.
+  bool monotone = true;
+  for (size_t i = 1; i < t.settling_at_plus.size(); ++i)
+    monotone &= t.settling_at_plus[i] >= t.settling_at_plus[i - 1];
+  std::printf("checks: J@T+(0) == JT: %s;  monotone J@T+: %s\n\n",
+              t.settling_at_plus[0] == t.settling_tt ? "yes" : "NO",
+              monotone ? "yes" : "NO");
+}
+
+void BM_Fig4DwellTables(benchmark::State& state) {
+  const casestudy::App app = casestudy::c1();
+  const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+  const auto spec = bench::dwell_spec(app);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(switching::compute_dwell_tables(loop, spec));
+  }
+}
+BENCHMARK(BM_Fig4DwellTables)->Unit(benchmark::kMillisecond);
+
+void BM_Fig4Granularity(benchmark::State& state) {
+  // Ablation: the paper's Tw-granularity knob trades table size for
+  // conservativeness; coarser grids are cheaper to compute too.
+  const casestudy::App app = casestudy::c1();
+  const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+  auto spec = bench::dwell_spec(app);
+  spec.tw_granularity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(switching::compute_dwell_tables(loop, spec));
+  }
+  state.SetLabel("granularity " + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_Fig4Granularity)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

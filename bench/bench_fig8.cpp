@@ -1,0 +1,108 @@
+// Reproduces Fig. 8 of the paper: responses of C1, C3, C4 and C5 sharing
+// TT slot S1 when disturbances hit all four simultaneously. Prints the
+// slot occupancy (the shaded regions of the figure), the per-application
+// y(t) series and the settling summary, then benchmarks the co-simulation.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dimensioning.h"
+
+namespace {
+
+using namespace ttdim;
+
+std::vector<core::AppSolution> slot_s1_apps() {
+  // Assemble the verified S1 population {C1, C5, C4, C3} (paper Sec. 5).
+  std::vector<core::AppSolution> out;
+  for (const casestudy::App& app :
+       {casestudy::c1(), casestudy::c5(), casestudy::c4(), casestudy::c3()}) {
+    core::AppSolution s{{app.name, app.plant, app.kt, app.ke,
+                         app.min_interarrival, app.settling_requirement},
+                        bench::tables_of(app),
+                        bench::timing_of(app),
+                        {}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+sched::Scenario simultaneous(size_t napps, int horizon) {
+  sched::Scenario sc;
+  sc.horizon = horizon;
+  sc.disturbances.assign(napps, {0});
+  return sc;
+}
+
+void report() {
+  std::printf("==== Fig. 8: responses of C1, C3, C4, C5 sharing slot S1 "
+              "====\n");
+  const std::vector<core::AppSolution> apps = slot_s1_apps();
+  const sched::Scenario scenario = simultaneous(apps.size(), 60);
+  const core::CoSimResult sim =
+      core::cosimulate(apps, scenario, casestudy::kSettlingTol);
+
+  std::printf("slot occupancy (tick: app):\n  ");
+  for (int t = 0; t < 30; ++t) {
+    const int occ = sim.schedule.occupant[static_cast<size_t>(t)];
+    std::printf("%s%s", occ < 0 ? "--" : apps[static_cast<size_t>(occ)]
+                                             .spec.name.c_str(),
+                t % 10 == 9 ? "\n  " : " ");
+  }
+  std::printf("\nevents:\n%s",
+              [&] {
+                std::vector<verify::AppTiming> timings;
+                for (const auto& a : apps) timings.push_back(a.timing);
+                return sim.schedule.describe_events(timings);
+              }()
+                  .c_str());
+
+  std::printf("\nsettling summary (paper: all requirements met; C3 holds "
+              "T+dw unpreempted, the others leave at T-dw):\n");
+  for (size_t i = 0; i < apps.size(); ++i)
+    std::printf("  %s: J = %d samples (%.2f s), J* = %d  %s\n",
+                apps[i].spec.name.c_str(), sim.settling[i].value_or(-1),
+                sim.settling[i].value_or(0) * casestudy::kSamplingPeriod,
+                apps[i].spec.settling_requirement,
+                sim.settling[i].value_or(INT32_MAX) <=
+                        apps[i].spec.settling_requirement
+                    ? "OK"
+                    : "VIOLATED");
+
+  std::printf("\ny(t) series, t = 0..0.5 s step 0.04 s:\n%-8s", "t");
+  for (const auto& a : apps) std::printf("%10s", a.spec.name.c_str());
+  std::printf("\n");
+  for (size_t k = 0; k < 26; k += 2) {
+    std::printf("%-8.2f", k * casestudy::kSamplingPeriod);
+    for (const auto& a : apps) {
+      const size_t idx = &a - apps.data();
+      std::printf("%10.4f", sim.traces[idx][k].y);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_Fig8CoSimulation(benchmark::State& state) {
+  const std::vector<core::AppSolution> apps = slot_s1_apps();
+  const sched::Scenario scenario = simultaneous(apps.size(), 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::cosimulate(apps, scenario, casestudy::kSettlingTol));
+  }
+}
+BENCHMARK(BM_Fig8CoSimulation)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig8SchedulerOnly(benchmark::State& state) {
+  const std::vector<core::AppSolution> apps = slot_s1_apps();
+  std::vector<verify::AppTiming> timings;
+  for (const auto& a : apps) timings.push_back(a.timing);
+  const sched::Scenario scenario = simultaneous(apps.size(), 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::simulate_slot(timings, scenario));
+  }
+}
+BENCHMARK(BM_Fig8SchedulerOnly)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

@@ -1,0 +1,88 @@
+// Reproduces Fig. 9 of the paper: responses of C2 and C6 sharing TT slot
+// S2, with C6 disturbed 10 samples after C2. Neither is preempted, both
+// reach the dedicated-slot performance JT, and — the paper's closing
+// observation — C2 occupies the slot for only ~10 samples where the
+// conservative scheme of [9] would hold it for 15.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/dimensioning.h"
+
+namespace {
+
+using namespace ttdim;
+
+std::vector<core::AppSolution> slot_s2_apps() {
+  std::vector<core::AppSolution> out;
+  for (const casestudy::App& app : {casestudy::c2(), casestudy::c6()}) {
+    core::AppSolution s{{app.name, app.plant, app.kt, app.ke,
+                         app.min_interarrival, app.settling_requirement},
+                        bench::tables_of(app),
+                        bench::timing_of(app),
+                        {}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+sched::Scenario fig9_scenario() {
+  sched::Scenario sc;
+  sc.horizon = 80;
+  sc.disturbances = {{0}, {10}};  // C2 at 0, C6 ten samples later
+  return sc;
+}
+
+void report() {
+  std::printf("==== Fig. 9: responses of C2 and C6 sharing slot S2 ====\n");
+  const std::vector<core::AppSolution> apps = slot_s2_apps();
+  const core::CoSimResult sim =
+      core::cosimulate(apps, fig9_scenario(), casestudy::kSettlingTol);
+
+  std::printf("events:\n%s",
+              [&] {
+                std::vector<verify::AppTiming> timings;
+                for (const auto& a : apps) timings.push_back(a.timing);
+                return sim.schedule.describe_events(timings);
+              }()
+                  .c_str());
+
+  int c2_tt_samples = 0;
+  for (bool b : sim.schedule.tt_mask[0]) c2_tt_samples += b ? 1 : 0;
+  std::printf("\nC2 used the TT slot for %d samples; the conservative "
+              "scheme of [9] would hold it for JT = %d samples for the "
+              "same settling time (paper: 10 vs 15).\n",
+              c2_tt_samples, apps[0].tables.settling_tt);
+
+  std::printf("\nsettling summary (paper: both reach the dedicated-slot "
+              "performance):\n");
+  for (size_t i = 0; i < apps.size(); ++i)
+    std::printf("  %s: J = %d samples (JT = %d, J* = %d)  %s\n",
+                apps[i].spec.name.c_str(), sim.settling[i].value_or(-1),
+                apps[i].tables.settling_tt,
+                apps[i].spec.settling_requirement,
+                sim.settling[i].value_or(INT32_MAX) <=
+                        apps[i].spec.settling_requirement
+                    ? "OK"
+                    : "VIOLATED");
+
+  std::printf("\ny(t) series (time measured from each app's own "
+              "disturbance), step 0.04 s:\n%-8s%10s%10s\n", "t", "C2", "C6");
+  for (size_t k = 0; k < 26; k += 2)
+    std::printf("%-8.2f%10.4f%10.4f\n", k * casestudy::kSamplingPeriod,
+                sim.traces[0][k].y, sim.traces[1][k].y);
+  std::printf("\n");
+}
+
+void BM_Fig9CoSimulation(benchmark::State& state) {
+  const std::vector<core::AppSolution> apps = slot_s2_apps();
+  const sched::Scenario scenario = fig9_scenario();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::cosimulate(apps, scenario, casestudy::kSettlingTol));
+  }
+}
+BENCHMARK(BM_Fig9CoSimulation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

@@ -1,0 +1,66 @@
+// The communication substrate under the control abstraction: a FlexRay
+// cycle sized for h = 20 ms, the dynamic-segment worst-case response
+// times that justify the one-sample-delay model of mode ME, and the
+// middleware slot handover that implements a TT grant at runtime.
+//
+// Build & run:   ./build/examples/flexray_bus
+#include <cstdio>
+
+#include "flexray/bus.h"
+#include "flexray/middleware.h"
+
+int main() {
+  using namespace ttdim::flexray;
+
+  BusConfig config;
+  config.static_slot_us = 50.0;
+  config.static_slots = 60;
+  config.minislot_us = 5.0;
+  config.minislots = 3300;
+  config.nit_us = 500.0;
+  config.validate();
+  std::printf("cycle = %.1f ms (static %.1f ms, dynamic %.1f ms, NIT %.1f "
+              "ms)\n",
+              config.cycle_us() / 1e3,
+              config.static_slot_us * config.static_slots / 1e3,
+              config.minislot_us * config.minislots / 1e3,
+              config.nit_us / 1e3);
+
+  // The six control messages of the case study on the dynamic segment.
+  const std::vector<DynamicFrame> frames{{1, "C1", 4}, {2, "C2", 4},
+                                         {3, "C3", 4}, {4, "C4", 4},
+                                         {5, "C5", 4}, {6, "C6", 4}};
+  const auto wcrt = dynamic_wcrt_cycles(config, frames);
+  std::printf("\ndynamic-segment worst-case response times:\n");
+  for (size_t i = 0; i < frames.size(); ++i)
+    std::printf("  %s: %s cycle(s)\n", frames[i].name.c_str(),
+                wcrt[i].has_value() ? std::to_string(*wcrt[i]).c_str()
+                                    : "unbounded");
+  std::printf("=> every message within 1 cycle == 1 sample: the ME "
+              "one-sample-delay model (Eq. 4) is justified.\n");
+
+  // A burst: all six ready in the same cycle.
+  DynamicSegmentSimulator sim(config, frames);
+  for (const DynamicFrame& f : frames) sim.make_ready(f.name);
+  const auto sent = sim.step_cycle();
+  std::printf("\nburst cycle transmissions:\n");
+  for (const Transmission& t : sent)
+    std::printf("  %s at %.1f..%.1f us\n", t.message.c_str(), t.start_us,
+                t.end_us);
+
+  // Middleware handover: the scheduler grants slot 12 to C1, later
+  // preempts it for C5 (the [8] substitution for FlexRay's static
+  // configuration).
+  Middleware mw(config, {12});
+  mw.grant(12, "C1");
+  mw.advance_cycle();
+  std::printf("\ncycle %d: slot 12 owner = %s (offset %.0f us)\n",
+              mw.current_cycle(), mw.owner_in_cycle(12, 1)->c_str(),
+              mw.static_slot_offset_us(12));
+  mw.release(12);
+  mw.grant(12, "C5");
+  mw.advance_cycle();
+  std::printf("cycle %d: slot 12 owner = %s\n", mw.current_cycle(),
+              mw.owner_in_cycle(12, 2)->c_str());
+  return 0;
+}

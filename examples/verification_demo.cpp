@@ -1,0 +1,61 @@
+// Verification walkthrough: the same slot-sharing question answered by the
+// two engines — the exact discrete-time verifier and the UPPAAL-style
+// zone-based model checker on the paper's network of timed automata — with
+// a counterexample trace for an unsafe configuration.
+//
+// Build & run:   ./build/examples/verification_demo
+#include <cstdio>
+
+#include "verify/discrete.h"
+#include "verify/ta_model.h"
+
+namespace {
+
+ttdim::verify::AppTiming uniform_app(const std::string& name, int t_star,
+                                     int t_minus, int t_plus, int r) {
+  ttdim::verify::AppTiming a;
+  a.name = name;
+  a.t_star_w = t_star;
+  a.t_minus.assign(static_cast<size_t>(t_star) + 1, t_minus);
+  a.t_plus.assign(static_cast<size_t>(t_star) + 1, t_plus);
+  a.min_interarrival = r;
+  return a;
+}
+
+void run_both(const char* label,
+              const std::vector<ttdim::verify::AppTiming>& apps) {
+  using namespace ttdim::verify;
+  DiscreteVerifier discrete(apps);
+  DiscreteVerifier::Options dopt;
+  dopt.want_witness = true;
+  const SlotVerdict d = discrete.verify(dopt);
+  const SlotVerdict z = ZoneVerifier(apps).verify();
+  std::printf("%s:\n  discrete: %s (%ld states)\n  zone:     %s (%ld "
+              "states)\n",
+              label, d.safe ? "SAFE" : "UNSAFE", d.states_explored,
+              z.safe ? "SAFE" : "UNSAFE", z.states_explored);
+  if (!d.safe) {
+    std::printf("  counterexample:\n");
+    for (const std::string& step : d.witness)
+      std::printf("    %s\n", step.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Two tolerant applications: the loser of a simultaneous disturbance is
+  // granted exactly at its deadline.
+  run_both("two tolerant apps (T*w = 1)",
+           {uniform_app("A", 1, 1, 1, 6), uniform_app("B", 1, 1, 1, 6)});
+
+  // A long non-preemptive window starves the second application.
+  run_both("long minimum dwell (T-dw = 3, T*w = 2)",
+           {uniform_app("A", 2, 3, 4, 12), uniform_app("B", 2, 3, 4, 12)});
+
+  // The preemption window rescues the same configuration.
+  run_both("preemptable after 1 sample",
+           {uniform_app("A", 2, 1, 4, 12), uniform_app("B", 2, 1, 4, 12)});
+  return 0;
+}

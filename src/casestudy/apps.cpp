@@ -1,0 +1,113 @@
+#include "casestudy/apps.h"
+
+namespace ttdim::casestudy {
+
+DiscreteLti dc_motor_position_plant() {
+  const Matrix phi{{1.0, 0.0182, 0.0068},
+                   {0.0, 0.7664, 0.5186},
+                   {0.0, -0.3260, 0.1011}};
+  const Matrix gamma{{0.0015}, {0.1944}, {0.2717}};
+  const Matrix c{{1.0, 0.0, 0.0}};
+  return DiscreteLti(phi, gamma, c, kSamplingPeriod);
+}
+
+App c1() {
+  return {
+      "C1",
+      dc_motor_position_plant(),
+      Matrix{{30.0, 1.2626, 1.1071}},                 // Eq. (7)
+      Matrix{{13.8921, 0.5773, 0.8672, 1.0866}},      // Eq. (8), KsE
+      25,                                             // r
+      18,                                             // J*
+  };
+}
+
+App c2() {
+  const Matrix phi{{1.0, 0.0117, 0.0001},
+                   {0.0, 0.3059, 0.0018},
+                   {0.0, -0.0021, -1.2228e-5}};
+  const Matrix gamma{{0.2966}, {24.8672}, {0.0797}};
+  const Matrix c{{1.0, 0.0, 0.0}};
+  return {
+      "C2",
+      DiscreteLti(phi, gamma, c, kSamplingPeriod),
+      Matrix{{0.1198, -0.0130, -2.9588}},
+      Matrix{{0.0864, -0.0128, -1.6833, 0.4059}},
+      100,
+      25,
+  };
+}
+
+App c3() {
+  const Matrix phi{{0.9900, 0.0065}, {-0.0974, 0.0177}};
+  const Matrix gamma{{2.8097}, {319.7919}};
+  const Matrix c{{1.0, 0.0}};
+  return {
+      "C3",
+      DiscreteLti(phi, gamma, c, kSamplingPeriod),
+      Matrix{{0.0500, -0.0002}},
+      Matrix{{0.0336, 0.0004, 0.4453}},
+      50,
+      20,
+  };
+}
+
+App c4() {
+  const Matrix phi{{0.8187, 0.0178}, {-0.0004, 0.9608}};
+  const Matrix gamma{{0.0004}, {0.0392}};
+  const Matrix c{{1.0, 0.0}};
+  return {
+      "C4",
+      DiscreteLti(phi, gamma, c, kSamplingPeriod),
+      Matrix{{100.0000, 15.6226}},
+      Matrix{{-77.8275, 24.3161, 1.0265}},
+      40,
+      19,
+  };
+}
+
+App c5() {
+  const Matrix phi{{0.8187, 0.0156}, {-0.0031, 0.7408}};
+  const Matrix gamma{{0.0034}, {0.3456}};
+  const Matrix c{{1.0, 0.0}};
+  return {
+      "C5",
+      DiscreteLti(phi, gamma, c, kSamplingPeriod),
+      Matrix{{10.0000, 1.0524}},
+      Matrix{{-2.4223, 0.7014, 0.2950}},
+      25,
+      18,
+  };
+}
+
+App c6() {
+  // Table 1 prints phi = -0.999; with the printed KT = 15000 that closed
+  // loop is -1.2989 (unstable) and JT could not be the reported 11
+  // samples. With phi = +0.999 the closed loop is 0.6991 and settles in
+  // exactly 11 samples (0.6991^11 ~ 0.02), matching JT in Table 1, and the
+  // ME mode matches JE ~ 41. We therefore read the minus sign as a
+  // typesetting artefact (see EXPERIMENTS.md, "data corrections").
+  const Matrix phi{{0.999}};
+  const Matrix gamma{{1.999e-5}};
+  const Matrix c{{1.0}};
+  return {
+      "C6",
+      DiscreteLti(phi, gamma, c, kSamplingPeriod),
+      Matrix{{15000.0}},
+      Matrix{{8125.6, 0.8659}},
+      100,
+      20,
+  };
+}
+
+std::vector<App> all_apps() { return {c1(), c2(), c3(), c4(), c5(), c6()}; }
+
+Matrix ke_stable() {
+  return Matrix{{13.8921, 0.5773, 0.8672, 1.0866}};  // Eq. (8)
+}
+
+Matrix ke_unstable() {
+  return Matrix{{2.9120, -0.6141, -1.0399, 0.1741}};  // Eq. (9)
+}
+
+}  // namespace ttdim::casestudy

@@ -1,0 +1,58 @@
+// The six control applications of the paper's case study (Table 1) plus
+// the motivational controller pair of Sec. 3.1.
+//
+// All data below is transcribed verbatim from the paper:
+//  - C1 [Thomas/Poongodi WCE'09] and C2 [CTMS] : DC motor position control
+//  - C3 [Chang RTSS'14], C4 [CTMS], C5 [Schneider CODES+ISSS'11] : DC motor
+//    speed control
+//  - C6 [CTMS] : cruise control
+// Sampling period h = 0.02 s everywhere; timing quantities (r, J*) are in
+// samples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/lti.h"
+
+namespace ttdim::casestudy {
+
+using control::DiscreteLti;
+using control::Matrix;
+
+/// One application of the case study: plant, the two gains and the timing
+/// requirements of Table 1.
+struct App {
+  std::string name;
+  DiscreteLti plant;
+  Matrix kt;           ///< fast gain for mode MT (1 x n)
+  Matrix ke;           ///< slow gain for mode ME on [x; u_prev] (1 x n+1)
+  int min_interarrival;  ///< r, minimum disturbance inter-arrival (samples)
+  int settling_requirement;  ///< J*, required settling time (samples)
+};
+
+/// Sampling period shared by all applications (seconds).
+inline constexpr double kSamplingPeriod = 0.02;
+
+/// Settling threshold on |y| (paper Sec. 3.1), against a unit disturbance.
+inline constexpr double kSettlingTol = 0.02;
+
+/// DC-motor position plant of Eq. (6) (used by C1 and Sec. 3.1).
+[[nodiscard]] DiscreteLti dc_motor_position_plant();
+
+[[nodiscard]] App c1();
+[[nodiscard]] App c2();
+[[nodiscard]] App c3();
+[[nodiscard]] App c4();
+[[nodiscard]] App c5();
+[[nodiscard]] App c6();
+
+/// All six, in paper order C1..C6.
+[[nodiscard]] std::vector<App> all_apps();
+
+/// The switching-stable ME gain of Sec. 3.1 (Eq. (8)) — same as c1().ke.
+[[nodiscard]] Matrix ke_stable();
+/// The non-switching-stable ME gain of Sec. 3.1 (Eq. (9)).
+[[nodiscard]] Matrix ke_unstable();
+
+}  // namespace ttdim::casestudy

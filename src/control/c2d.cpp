@@ -1,0 +1,48 @@
+#include "control/c2d.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace ttdim::control {
+
+Matrix expm(const Matrix& a) {
+  TTDIM_EXPECTS(a.is_square());
+  const Index n = a.rows();
+  // Scaling: halve until the norm is small, then square back.
+  const double norm = a.max_abs() * n;
+  int squarings = 0;
+  double scale = 1.0;
+  while (norm * scale > 0.5) {
+    scale *= 0.5;
+    ++squarings;
+  }
+  const Matrix as = a * scale;
+  // Taylor series on the scaled matrix; converges fast for |as| <= 0.5.
+  Matrix result = Matrix::identity(n);
+  Matrix term = Matrix::identity(n);
+  for (int k = 1; k <= 24; ++k) {
+    term = term * as / static_cast<double>(k);
+    result += term;
+    if (term.max_abs() < 1e-18) break;
+  }
+  for (int s = 0; s < squarings; ++s) result = result * result;
+  return result;
+}
+
+DiscreteLti c2d(const ContinuousLti& sys, double h) {
+  TTDIM_EXPECTS(sys.a.is_square());
+  TTDIM_EXPECTS(sys.b.rows() == sys.a.rows());
+  TTDIM_EXPECTS(sys.c.cols() == sys.a.rows());
+  TTDIM_EXPECTS(h > 0.0);
+  const Index n = sys.a.rows();
+  const Index m = sys.b.cols();
+  // exp([A B; 0 0] h) = [phi gamma; 0 I].
+  Matrix block(n + m, n + m);
+  block.set_block(0, 0, sys.a * h);
+  block.set_block(0, n, sys.b * h);
+  const Matrix e = expm(block);
+  return DiscreteLti(e.block(0, 0, n, n), e.block(0, n, n, m), sys.c, h);
+}
+
+}  // namespace ttdim::control

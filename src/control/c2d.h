@@ -1,0 +1,28 @@
+// Continuous-to-discrete conversion. The paper's plants are given directly
+// in discrete time, but they originate from continuous-time models (DC
+// motors, cruise dynamics) sampled at h = 0.02 s; this header lets library
+// users start from the physical model.
+#pragma once
+
+#include "control/lti.h"
+
+namespace ttdim::control {
+
+/// Continuous-time LTI system  dx/dt = a x + b u,  y = c x.
+struct ContinuousLti {
+  Matrix a;
+  Matrix b;
+  Matrix c;
+};
+
+/// Matrix exponential e^(a) via scaling-and-squaring on the Taylor series
+/// (adequate for the small, well-scaled matrices of control plants).
+[[nodiscard]] Matrix expm(const Matrix& a);
+
+/// Zero-order-hold discretisation with sampling period h:
+///   phi = e^(A h),  gamma = (integral_0^h e^(A s) ds) B.
+/// The integral is evaluated exactly via the augmented-exponential trick
+/// exp([A B; 0 0] h) = [phi gamma; 0 I].
+[[nodiscard]] DiscreteLti c2d(const ContinuousLti& sys, double h);
+
+}  // namespace ttdim::control

@@ -1,0 +1,104 @@
+#include "control/sim.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace ttdim::control {
+
+std::optional<int> settling_samples(const Trace& trace, double abs_tol) {
+  TTDIM_EXPECTS(abs_tol > 0.0);
+  int last_violation = -1;
+  for (int k = 0; k < static_cast<int>(trace.size()); ++k) {
+    const double y = trace[static_cast<size_t>(k)].y;
+    if (!std::isfinite(y)) return std::nullopt;
+    if (std::abs(y) > abs_tol) last_violation = k;
+  }
+  // Never settled within the horizon (violation at the very end means we
+  // cannot certify the tail).
+  if (last_violation + 1 >= static_cast<int>(trace.size())) return std::nullopt;
+  return last_violation + 1;
+}
+
+Trace simulate_autonomous(const Matrix& a, const Matrix& c, const Matrix& x0,
+                          double h, int steps) {
+  TTDIM_EXPECTS(a.is_square() && a.rows() == x0.rows() && x0.cols() == 1);
+  TTDIM_EXPECTS(c.cols() == a.rows());
+  TTDIM_EXPECTS(steps >= 0 && h > 0.0);
+  Trace trace;
+  trace.reserve(static_cast<size_t>(steps));
+  Matrix x = x0;
+  for (int k = 0; k < steps; ++k) {
+    trace.push_back({k * h, (c * x)(0, 0), 0.0});
+    x = a * x;
+  }
+  return trace;
+}
+
+SwitchedLoop::SwitchedLoop(DiscreteLti plant, Matrix kt, Matrix ke)
+    : plant_(std::move(plant)), kt_(std::move(kt)), ke_(std::move(ke)) {
+  TTDIM_EXPECTS(plant_.n_inputs() == 1);
+  TTDIM_EXPECTS(kt_.rows() == 1 && kt_.cols() == plant_.n_states());
+  TTDIM_EXPECTS(ke_.rows() == 1 && ke_.cols() == plant_.n_states() + 1);
+}
+
+LoopState SwitchedLoop::disturbed_state() const {
+  return {plant_.unit_output_state(), 0.0};
+}
+
+double SwitchedLoop::step_tt(LoopState& s) const {
+  // Negligible sensing-to-actuation delay: u[k] = -kt x[k] acts over
+  // [k, k+1). The held-input memory is refreshed with the applied input so
+  // a subsequent ME sample sees the true previous command.
+  const double u = -(kt_ * s.x)(0, 0);
+  s.x = plant_.phi() * s.x + plant_.gamma() * u;
+  s.u_prev = u;
+  return u;
+}
+
+double SwitchedLoop::step_et(LoopState& s) const {
+  // One-sample delay (paper Eq. (4)-(5)): the input acting over [k, k+1)
+  // is u[k-1]; the command computed now, u[k] = -ke [x; u_prev], is applied
+  // from the next sample on.
+  const double applied = s.u_prev;
+  const double u_next = -(ke_ * s.x.vstack(Matrix{{s.u_prev}}))(0, 0);
+  s.x = plant_.phi() * s.x + plant_.gamma() * applied;
+  s.u_prev = u_next;
+  return applied;
+}
+
+double SwitchedLoop::output(const LoopState& s) const {
+  return (plant_.c() * s.x)(0, 0);
+}
+
+Trace SwitchedLoop::simulate_pattern(int wait, int dwell,
+                                     const SettlingSpec& spec) const {
+  TTDIM_EXPECTS(wait >= 0 && dwell >= 0);
+  std::vector<bool> modes(static_cast<size_t>(wait + dwell), false);
+  for (int k = wait; k < wait + dwell; ++k) modes[static_cast<size_t>(k)] = true;
+  return simulate_schedule(modes, spec.horizon);
+}
+
+std::optional<int> SwitchedLoop::settling_of_pattern(
+    int wait, int dwell, const SettlingSpec& spec) const {
+  return settling_samples(simulate_pattern(wait, dwell, spec), spec.abs_tol);
+}
+
+Trace SwitchedLoop::simulate_schedule(const std::vector<bool>& modes,
+                                      int total_samples) const {
+  TTDIM_EXPECTS(total_samples >= static_cast<int>(modes.size()));
+  Trace trace;
+  trace.reserve(static_cast<size_t>(total_samples));
+  LoopState s = disturbed_state();
+  const double h = plant_.h();
+  for (int k = 0; k < total_samples; ++k) {
+    const bool tt = k < static_cast<int>(modes.size()) &&
+                    modes[static_cast<size_t>(k)];
+    const double y = output(s);
+    const double u = tt ? step_tt(s) : step_et(s);
+    trace.push_back({k * h, y, u});
+  }
+  return trace;
+}
+
+}  // namespace ttdim::control

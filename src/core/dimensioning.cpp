@@ -1,0 +1,128 @@
+#include "core/dimensioning.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace ttdim::core {
+
+double Solution::saving_vs_baseline() const {
+  const int baseline = std::min(baseline_np.slot_count(),
+                                baseline_delayed.slot_count());
+  if (baseline <= 0) return 0.0;
+  return 1.0 - static_cast<double>(proposed.slot_count()) / baseline;
+}
+
+Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
+  TTDIM_EXPECTS(!specs.empty());
+  Solution solution;
+  solution.apps.reserve(specs.size());
+
+  // ---- Per-application analysis. -----------------------------------------
+  for (const AppSpec& spec : specs) {
+    AppSolution app{spec, {}, {}, {}};
+    app.stability =
+        control::check_switching_stability(spec.plant, spec.kt, spec.ke);
+    if (options.require_switching_stability &&
+        !app.stability.switching_stable())
+      throw std::invalid_argument(
+          "solve: gain pair of " + spec.name +
+          " is not switching stable (set require_switching_stability = "
+          "false to override)");
+
+    const control::SwitchedLoop loop(spec.plant, spec.kt, spec.ke);
+    switching::DwellAnalysisSpec dwell_spec;
+    dwell_spec.settling_requirement = spec.settling_requirement;
+    dwell_spec.settling = options.settling;
+    dwell_spec.tw_granularity = options.tw_granularity;
+    app.tables = switching::compute_dwell_tables(loop, dwell_spec);
+    if (!app.tables.feasible())
+      throw std::invalid_argument("solve: requirement of " + spec.name +
+                                  " infeasible even with zero wait");
+    app.timing = verify::make_app_timing(spec.name, app.tables,
+                                         spec.min_interarrival);
+    solution.apps.push_back(std::move(app));
+  }
+
+  // ---- Proposed mapping: first-fit + model checking. ----------------------
+  std::vector<verify::AppTiming> timings;
+  timings.reserve(solution.apps.size());
+  for (const AppSolution& a : solution.apps) timings.push_back(a.timing);
+
+  const std::vector<int> order = mapping::paper_sort_order(timings);
+  const mapping::SlotOracle proposed_oracle =
+      [&options](const std::vector<verify::AppTiming>& slot_apps) {
+        const verify::DiscreteVerifier verifier(slot_apps);
+        verify::DiscreteVerifier::Options vopt;
+        vopt.max_disturbances_per_app = options.max_disturbances_per_app;
+        vopt.policy = options.policy;
+        return verifier.verify(vopt).safe;
+      };
+  solution.proposed = mapping::first_fit(timings, order, proposed_oracle);
+
+  // ---- Baseline mappings ([9]). -------------------------------------------
+  std::vector<sched::BaselineApp> baseline_apps;
+  baseline_apps.reserve(solution.apps.size());
+  for (const AppSolution& a : solution.apps)
+    baseline_apps.push_back(
+        sched::make_baseline_app(a.timing, a.tables.settling_tt));
+
+  const auto baseline_oracle = [&](sched::BaselineStrategy strategy) {
+    return [&baseline_apps, &timings, strategy](
+               const std::vector<verify::AppTiming>& slot_apps) {
+      std::vector<sched::BaselineApp> members;
+      for (const verify::AppTiming& t : slot_apps) {
+        const auto it = std::find_if(
+            timings.begin(), timings.end(),
+            [&t](const verify::AppTiming& x) { return x.name == t.name; });
+        TTDIM_CHECK(it != timings.end());
+        members.push_back(
+            baseline_apps[static_cast<size_t>(it - timings.begin())]);
+      }
+      return sched::analyze_baseline_slot(members, strategy).schedulable;
+    };
+  };
+  solution.baseline_np = mapping::first_fit(
+      timings, order, baseline_oracle(sched::BaselineStrategy::kNonPreemptiveDm));
+  solution.baseline_delayed = mapping::first_fit(
+      timings, order, baseline_oracle(sched::BaselineStrategy::kDelayedRequests));
+  return solution;
+}
+
+CoSimResult cosimulate(const std::vector<AppSolution>& apps,
+                       const sched::Scenario& scenario, double settling_tol) {
+  TTDIM_EXPECTS(!apps.empty());
+  TTDIM_EXPECTS(scenario.disturbances.size() == apps.size());
+  std::vector<verify::AppTiming> timings;
+  timings.reserve(apps.size());
+  for (const AppSolution& a : apps) timings.push_back(a.timing);
+
+  CoSimResult out;
+  out.schedule = sched::simulate_slot(timings, scenario);
+
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const auto& disturbances = scenario.disturbances[i];
+    if (disturbances.empty()) {
+      out.traces.emplace_back();
+      out.settling.emplace_back();
+      continue;
+    }
+    // The paper's plots track the response to the (single) disturbance of
+    // each application; later disturbances would just repeat the pattern.
+    const int d0 = disturbances.front();
+    const int len = scenario.horizon - d0;
+    std::vector<bool> modes(static_cast<size_t>(len), false);
+    for (int k = 0; k < len; ++k)
+      modes[static_cast<size_t>(k)] =
+          out.schedule.tt_mask[i][static_cast<size_t>(d0 + k)];
+    const control::SwitchedLoop loop(apps[i].spec.plant, apps[i].spec.kt,
+                                     apps[i].spec.ke);
+    control::Trace trace = loop.simulate_schedule(modes, len);
+    out.settling.push_back(control::settling_samples(trace, settling_tol));
+    out.traces.push_back(std::move(trace));
+  }
+  return out;
+}
+
+}  // namespace ttdim::core

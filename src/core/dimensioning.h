@@ -1,0 +1,88 @@
+// Top-level façade: from plant models + requirements to a verified TT slot
+// dimensioning. This is the end-to-end pipeline of the paper:
+//   1. dwell-time analysis per application (Sec. 3),
+//   2. switching-stability check of the gain pair (Sec. 3),
+//   3. first-fit mapping with model-checking admission (Secs. 4-5),
+//   4. baseline mapping with the [9] schedulability analysis for the
+//      comparison of Sec. 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/design.h"
+#include "control/sim.h"
+#include "mapping/first_fit.h"
+#include "sched/baseline.h"
+#include "sched/slot_scheduler.h"
+#include "switching/dwell.h"
+#include "verify/discrete.h"
+
+namespace ttdim::core {
+
+/// One application as specified by the system designer.
+struct AppSpec {
+  std::string name;
+  control::DiscreteLti plant;
+  control::Matrix kt;  ///< fast gain, 1 x n
+  control::Matrix ke;  ///< slow gain on [x; u_prev], 1 x (n+1)
+  int min_interarrival = 0;      ///< r, samples
+  int settling_requirement = 0;  ///< J*, samples
+};
+
+struct SolveOptions {
+  control::SettlingSpec settling{0.02, 3000};
+  int tw_granularity = 1;
+  /// Disturbance-instance bound handed to the verifier; < 0 = unbounded.
+  int max_disturbances_per_app = -1;
+  /// Reject gain pairs without a common quadratic Lyapunov certificate
+  /// (paper Sec. 3 recommends switching-stable designs; disable to
+  /// experiment with unstable pairs as in Fig. 3).
+  bool require_switching_stability = true;
+  /// Arbitration policy the admission checks verify (and the deployed
+  /// runtime must then use): the paper's strategy or the slack-aware
+  /// extension (verify/policy.h).
+  verify::SlotPolicy policy = verify::SlotPolicy::kPaper;
+
+  SolveOptions() {}
+};
+
+/// Per-application artefacts of the analysis.
+struct AppSolution {
+  AppSpec spec;
+  switching::DwellTables tables;
+  verify::AppTiming timing;
+  control::SwitchingStability stability;
+};
+
+/// Complete dimensioning result.
+struct Solution {
+  std::vector<AppSolution> apps;
+  mapping::SlotAssignment proposed;          ///< model-checking admission
+  mapping::SlotAssignment baseline_np;       ///< [9] strategy 1
+  mapping::SlotAssignment baseline_delayed;  ///< [9] strategy 2
+
+  /// Slot-count saving of the proposed strategy vs. the better baseline.
+  [[nodiscard]] double saving_vs_baseline() const;
+};
+
+/// Run the full pipeline. Throws std::invalid_argument when a requirement
+/// is unmeetable or (if required) a gain pair lacks switching stability.
+[[nodiscard]] Solution solve(const std::vector<AppSpec>& specs,
+                             const SolveOptions& options = {});
+
+/// Co-simulation: drive every application's switched loop with the slot
+/// occupancy produced by the runtime scheduler for a concrete disturbance
+/// scenario. Traces are per-application and start at that application's
+/// disturbance tick (matching the paper's Figs. 8-9 plots). Applications
+/// without a disturbance in the scenario get an empty trace.
+struct CoSimResult {
+  sched::ScheduleResult schedule;
+  std::vector<control::Trace> traces;
+  std::vector<std::optional<int>> settling;  ///< samples, per app
+};
+[[nodiscard]] CoSimResult cosimulate(const std::vector<AppSolution>& apps,
+                                     const sched::Scenario& scenario,
+                                     double settling_tol);
+
+}  // namespace ttdim::core

@@ -1,0 +1,89 @@
+// FlexRay bus model (paper Sec. 2, "Heterogeneous communication
+// resources"): a communication cycle with a static (TT) segment of
+// equal-length slots and a dynamic (ET) segment of mini-slots with
+// priority-based arbitration. This is the substrate that justifies the
+// control-level abstraction "TT => negligible sensing-to-actuation delay,
+// ET => bounded one-sample delay" — see flexray_test.cpp and the
+// flexray_bus example.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ttdim::flexray {
+
+/// Static bus parameters. Times in microseconds.
+struct BusConfig {
+  double static_slot_us = 0.0;   ///< Psi: length of one static slot
+  int static_slots = 0;          ///< static slots per cycle
+  double minislot_us = 0.0;      ///< psi: length of one mini-slot
+  int minislots = 0;             ///< mini-slots per cycle
+  double nit_us = 0.0;           ///< network idle time at cycle end
+
+  /// Total communication cycle length.
+  [[nodiscard]] double cycle_us() const noexcept {
+    return static_slot_us * static_slots + minislot_us * minislots + nit_us;
+  }
+  /// Throws std::invalid_argument on non-positive quantities or a dynamic
+  /// segment shorter than one frame of one mini-slot.
+  void validate() const;
+};
+
+/// A message on the dynamic (event-triggered) segment. Lower frame id ==
+/// higher arbitration priority (FlexRay frame-id arbitration).
+struct DynamicFrame {
+  int frame_id = 0;
+  std::string name;
+  int minislots_needed = 1;  ///< transmission length in mini-slots
+};
+
+/// One transmission record produced by the simulator.
+struct Transmission {
+  int cycle = 0;
+  std::string message;
+  double start_us = 0.0;  ///< offset within the cycle
+  double end_us = 0.0;
+};
+
+/// Worst-case response time (in cycles) of each dynamic frame, i.e. the
+/// largest number of cycles from becoming ready to the end of transmission,
+/// assuming every frame can be ready every cycle (sporadic worst case).
+/// This follows the structure of Pop et al., "Timing Analysis of the
+/// FlexRay Communication Protocol" (RTS 2008), restricted to
+/// single-cycle-repetition frames: within a cycle, higher-priority ready
+/// frames consume their mini-slots first; a frame transmits only if it
+/// still fits before the dynamic segment ends, otherwise it waits a full
+/// cycle.
+///
+/// Returns nullopt for a frame that can be starved indefinitely (does not
+/// fit even in an otherwise empty dynamic segment).
+[[nodiscard]] std::vector<std::optional<int>> dynamic_wcrt_cycles(
+    const BusConfig& config, const std::vector<DynamicFrame>& frames);
+
+/// Cycle-accurate simulator of the dynamic segment: queue frames, step
+/// cycles, collect transmissions.
+class DynamicSegmentSimulator {
+ public:
+  DynamicSegmentSimulator(BusConfig config, std::vector<DynamicFrame> frames);
+
+  /// Mark a frame ready for transmission (idempotent until transmitted).
+  void make_ready(const std::string& frame_name);
+  [[nodiscard]] bool is_pending(const std::string& frame_name) const;
+
+  /// Simulate one communication cycle; returns the transmissions that
+  /// happened in it.
+  std::vector<Transmission> step_cycle();
+
+  [[nodiscard]] int cycles_elapsed() const noexcept { return cycle_; }
+
+ private:
+  [[nodiscard]] int frame_index(const std::string& name) const;
+
+  BusConfig config_;
+  std::vector<DynamicFrame> frames_;  ///< sorted by frame_id
+  std::vector<bool> pending_;
+  int cycle_ = 0;
+};
+
+}  // namespace ttdim::flexray

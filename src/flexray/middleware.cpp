@@ -1,0 +1,83 @@
+#include "flexray/middleware.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace ttdim::flexray {
+
+Middleware::Middleware(BusConfig config, std::vector<int> shared_slots)
+    : config_(std::move(config)), shared_slots_(std::move(shared_slots)) {
+  config_.validate();
+  TTDIM_EXPECTS(!shared_slots_.empty());
+  for (int s : shared_slots_)
+    TTDIM_EXPECTS(s >= 0 && s < config_.static_slots);
+  std::sort(shared_slots_.begin(), shared_slots_.end());
+  if (std::adjacent_find(shared_slots_.begin(), shared_slots_.end()) !=
+      shared_slots_.end())
+    throw std::invalid_argument("Middleware: duplicate shared slot");
+  state_.resize(shared_slots_.size());
+  for (SlotState& s : state_) s.history.push_back({0, std::nullopt});
+}
+
+int Middleware::slot_pos(int slot) const {
+  const auto it =
+      std::find(shared_slots_.begin(), shared_slots_.end(), slot);
+  if (it == shared_slots_.end())
+    throw std::invalid_argument("Middleware: slot " + std::to_string(slot) +
+                                " is not middleware-managed");
+  return static_cast<int>(it - shared_slots_.begin());
+}
+
+void Middleware::grant(int slot, const std::string& app) {
+  SlotState& s = state_[static_cast<size_t>(slot_pos(slot))];
+  const bool busy = s.owner.has_value() && !s.pending_release;
+  if (busy && *s.owner != app)
+    throw std::logic_error("Middleware: slot " + std::to_string(slot) +
+                           " is owned by " + *s.owner +
+                           "; release before granting to " + app);
+  s.pending_owner = app;
+}
+
+void Middleware::release(int slot) {
+  SlotState& s = state_[static_cast<size_t>(slot_pos(slot))];
+  s.pending_release = true;
+  s.pending_owner.reset();
+}
+
+std::optional<std::string> Middleware::owner_in_cycle(int slot,
+                                                      int cycle) const {
+  const SlotState& s = state_[static_cast<size_t>(slot_pos(slot))];
+  std::optional<std::string> owner;
+  for (const auto& [from_cycle, who] : s.history) {
+    if (from_cycle > cycle) break;
+    owner = who;
+  }
+  return owner;
+}
+
+void Middleware::advance_cycle() {
+  ++cycle_;
+  for (SlotState& s : state_) {
+    bool changed = false;
+    if (s.pending_release) {
+      s.owner.reset();
+      s.pending_release = false;
+      changed = true;
+    }
+    if (s.pending_owner.has_value()) {
+      s.owner = std::move(s.pending_owner);
+      s.pending_owner.reset();
+      changed = true;
+    }
+    if (changed) s.history.push_back({cycle_, s.owner});
+  }
+}
+
+double Middleware::static_slot_offset_us(int slot) const {
+  TTDIM_EXPECTS(slot >= 0 && slot < config_.static_slots);
+  return slot * config_.static_slot_us;
+}
+
+}  // namespace ttdim::flexray

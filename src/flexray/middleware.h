@@ -1,0 +1,66 @@
+// Runtime-reconfigurable slot ownership — the communication middleware of
+// Majumdar et al. [8] that the paper relies on to switch applications
+// between TT and ET communication at runtime (FlexRay itself is not
+// runtime-configurable; the middleware multiplexes slot payloads).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flexray/bus.h"
+
+namespace ttdim::flexray {
+
+/// Ownership ledger of the shared static slots. Exactly one application
+/// may own a slot in any cycle; handover takes effect at the next cycle
+/// boundary (the middleware rewrites the slot payload between cycles).
+class Middleware {
+ public:
+  /// `shared_slots`: indices of static slots managed by the middleware.
+  Middleware(BusConfig config, std::vector<int> shared_slots);
+
+  /// Request ownership of `slot` for `app` from the next cycle on.
+  /// Throws std::logic_error if the slot is owned by someone else (the
+  /// scheduler must release first — mirrors the verified protocol where a
+  /// grant only follows an evict/preempt).
+  void grant(int slot, const std::string& app);
+
+  /// Release `slot` (no-op when idle).
+  void release(int slot);
+
+  /// Owner of `slot` effective in `cycle`; nullopt when idle. Ownership
+  /// changes are visible from the cycle after the grant.
+  [[nodiscard]] std::optional<std::string> owner_in_cycle(int slot,
+                                                          int cycle) const;
+
+  /// Advance to the next communication cycle (applies pending handovers).
+  void advance_cycle();
+
+  [[nodiscard]] int current_cycle() const noexcept { return cycle_; }
+  [[nodiscard]] const std::vector<int>& shared_slots() const noexcept {
+    return shared_slots_;
+  }
+
+  /// Sensing-to-actuation delay (µs within the cycle) of a message sent in
+  /// the given static slot — the start offset of that slot. "Negligible"
+  /// in the paper's terms because the slot position is fixed and known.
+  [[nodiscard]] double static_slot_offset_us(int slot) const;
+
+ private:
+  struct SlotState {
+    std::optional<std::string> owner;
+    std::optional<std::string> pending_owner;
+    bool pending_release = false;
+    std::vector<std::pair<int, std::optional<std::string>>> history;
+  };
+
+  [[nodiscard]] int slot_pos(int slot) const;
+
+  BusConfig config_;
+  std::vector<int> shared_slots_;
+  std::vector<SlotState> state_;
+  int cycle_ = 0;
+};
+
+}  // namespace ttdim::flexray

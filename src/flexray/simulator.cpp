@@ -1,0 +1,102 @@
+#include "flexray/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace ttdim::flexray {
+
+BusSimulator::BusSimulator(BusConfig config, std::vector<int> shared_slots,
+                           std::vector<AppConfig> apps)
+    : config_(config),
+      middleware_(config, std::move(shared_slots)),
+      apps_(std::move(apps)),
+      tt_slot_of_app_(apps_.size(), -1) {
+  config_.validate();
+  TTDIM_EXPECTS(!apps_.empty());
+  for (size_t i = 0; i + 1 < apps_.size(); ++i)
+    for (size_t j = i + 1; j < apps_.size(); ++j)
+      if (apps_[i].name == apps_[j].name)
+        throw std::invalid_argument("BusSimulator: duplicate app " +
+                                    apps_[i].name);
+}
+
+int BusSimulator::app_index(const std::string& name) const {
+  for (size_t i = 0; i < apps_.size(); ++i)
+    if (apps_[i].name == name) return static_cast<int>(i);
+  throw std::invalid_argument("BusSimulator: unknown app " + name);
+}
+
+void BusSimulator::grant_slot(int slot, const std::string& app) {
+  const int idx = app_index(app);
+  middleware_.grant(slot, app);
+  tt_slot_of_app_[static_cast<size_t>(idx)] = slot;
+}
+
+void BusSimulator::release_slot(int slot) {
+  for (size_t i = 0; i < apps_.size(); ++i)
+    if (tt_slot_of_app_[i] == slot) tt_slot_of_app_[i] = -1;
+  middleware_.release(slot);
+}
+
+std::vector<Delivery> BusSimulator::step_cycle() {
+  middleware_.advance_cycle();
+  const int cycle = middleware_.current_cycle();
+
+  // Everyone not owning a slot *in this cycle* rides the dynamic segment.
+  std::vector<DynamicFrame> et_frames;
+  std::vector<size_t> et_apps;
+  std::vector<Delivery> out(apps_.size());
+  for (size_t i = 0; i < apps_.size(); ++i) {
+    const int slot = tt_slot_of_app_[i];
+    const bool owns =
+        slot >= 0 && middleware_.owner_in_cycle(slot, cycle).has_value() &&
+        *middleware_.owner_in_cycle(slot, cycle) == apps_[i].name;
+    if (owns) {
+      out[i] = {cycle, true,
+                middleware_.static_slot_offset_us(slot) +
+                    config_.static_slot_us};
+    } else {
+      et_frames.push_back(apps_[i].et_frame);
+      et_apps.push_back(i);
+    }
+  }
+  DynamicSegmentSimulator dyn(config_, et_frames);
+  for (size_t i : et_apps)
+    dyn.make_ready(apps_[i].et_frame.name);
+  const std::vector<Transmission> sent = dyn.step_cycle();
+  for (size_t i : et_apps) {
+    const auto it = std::find_if(sent.begin(), sent.end(),
+                                 [&](const Transmission& t) {
+                                   return t.message == apps_[i].et_frame.name;
+                                 });
+    if (it == sent.end())
+      throw std::runtime_error(
+          "BusSimulator: dynamic segment overloaded, message " +
+          apps_[i].et_frame.name + " deferred past its sample");
+    out[i] = {cycle, false, it->end_us};
+  }
+  ++cycle_;
+  return out;
+}
+
+std::optional<double> BusSimulator::worst_case_et_latency_us() const {
+  std::vector<DynamicFrame> frames;
+  for (const AppConfig& a : apps_) frames.push_back(a.et_frame);
+  const auto wcrt = dynamic_wcrt_cycles(config_, frames);
+  // All must fit within one cycle for the one-sample model.
+  for (const auto& w : wcrt)
+    if (!w.has_value() || *w > 1) return std::nullopt;
+  // Worst latency: the lowest-priority frame after all others transmitted.
+  std::sort(frames.begin(), frames.end(),
+            [](const DynamicFrame& a, const DynamicFrame& b) {
+              return a.frame_id < b.frame_id;
+            });
+  int minislots = 0;
+  for (const DynamicFrame& f : frames) minislots += f.minislots_needed;
+  return config_.static_slot_us * config_.static_slots +
+         minislots * config_.minislot_us;
+}
+
+}  // namespace ttdim::flexray

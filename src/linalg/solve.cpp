@@ -1,0 +1,149 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace ttdim::linalg {
+
+namespace {
+constexpr double kSingularTol = 1e-13;
+}  // namespace
+
+Lu::Lu(const Matrix& a) : lu_(a), piv_(static_cast<size_t>(a.rows())) {
+  TTDIM_EXPECTS(a.is_square());
+  const Index n = a.rows();
+  const double scale = a.max_abs();
+  for (Index i = 0; i < n; ++i) piv_[static_cast<size_t>(i)] = i;
+  for (Index k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| of column k to the
+    // diagonal.
+    Index p = k;
+    for (Index i = k + 1; i < n; ++i)
+      if (std::abs(lu_(i, k)) > std::abs(lu_(p, k))) p = i;
+    if (p != k) {
+      for (Index c = 0; c < n; ++c) std::swap(lu_(p, c), lu_(k, c));
+      std::swap(piv_[static_cast<size_t>(p)], piv_[static_cast<size_t>(k)]);
+      sign_ = -sign_;
+    }
+    const double pivot = lu_(k, k);
+    if (std::abs(pivot) <= kSingularTol * std::max(scale, 1.0)) {
+      singular_ = true;
+      continue;
+    }
+    for (Index i = k + 1; i < n; ++i) {
+      lu_(i, k) /= pivot;
+      const double l = lu_(i, k);
+      if (l == 0.0) continue;
+      for (Index c = k + 1; c < n; ++c) lu_(i, c) -= l * lu_(k, c);
+    }
+  }
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  TTDIM_EXPECTS(b.rows() == lu_.rows());
+  if (singular_) throw std::domain_error("Lu::solve: singular matrix");
+  const Index n = lu_.rows();
+  Matrix x(n, b.cols());
+  for (Index col = 0; col < b.cols(); ++col) {
+    // Forward substitution on permuted b.
+    for (Index i = 0; i < n; ++i) {
+      double s = b(piv_[static_cast<size_t>(i)], col);
+      for (Index j = 0; j < i; ++j) s -= lu_(i, j) * x(j, col);
+      x(i, col) = s;
+    }
+    // Back substitution.
+    for (Index i = n - 1; i >= 0; --i) {
+      double s = x(i, col);
+      for (Index j = i + 1; j < n; ++j) s -= lu_(i, j) * x(j, col);
+      x(i, col) = s / lu_(i, i);
+    }
+  }
+  return x;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(lu_.rows())); }
+
+double Lu::determinant() const {
+  double d = sign_;
+  for (Index i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return singular_ ? 0.0 : d;
+}
+
+Matrix solve(const Matrix& a, const Matrix& b) { return Lu(a).solve(b); }
+
+Matrix inverse(const Matrix& a) { return Lu(a).inverse(); }
+
+double determinant(const Matrix& a) { return Lu(a).determinant(); }
+
+Qr qr(const Matrix& a) {
+  const Index m = a.rows();
+  const Index n = a.cols();
+  TTDIM_EXPECTS(m >= n);
+  Matrix r = a;
+  Matrix q = Matrix::identity(m);
+  for (Index k = 0; k < n; ++k) {
+    // Householder vector annihilating r(k+1.., k).
+    double alpha = 0.0;
+    for (Index i = k; i < m; ++i) alpha += r(i, k) * r(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha == 0.0) continue;
+    if (r(k, k) > 0.0) alpha = -alpha;
+    std::vector<double> v(static_cast<size_t>(m), 0.0);
+    v[static_cast<size_t>(k)] = r(k, k) - alpha;
+    for (Index i = k + 1; i < m; ++i) v[static_cast<size_t>(i)] = r(i, k);
+    double vnorm2 = 0.0;
+    for (Index i = k; i < m; ++i)
+      vnorm2 += v[static_cast<size_t>(i)] * v[static_cast<size_t>(i)];
+    if (vnorm2 == 0.0) continue;
+    // r <- (I - 2 v v'/v'v) r ; q <- q (I - 2 v v'/v'v)
+    for (Index c = 0; c < n; ++c) {
+      double s = 0.0;
+      for (Index i = k; i < m; ++i) s += v[static_cast<size_t>(i)] * r(i, c);
+      s = 2.0 * s / vnorm2;
+      for (Index i = k; i < m; ++i) r(i, c) -= s * v[static_cast<size_t>(i)];
+    }
+    for (Index rr = 0; rr < m; ++rr) {
+      double s = 0.0;
+      for (Index i = k; i < m; ++i) s += q(rr, i) * v[static_cast<size_t>(i)];
+      s = 2.0 * s / vnorm2;
+      for (Index i = k; i < m; ++i) q(rr, i) -= s * v[static_cast<size_t>(i)];
+    }
+  }
+  // Clean tiny subdiagonal noise so r is exactly upper-trapezoidal.
+  for (Index rr = 1; rr < m; ++rr)
+    for (Index c = 0; c < std::min(rr, n); ++c) r(rr, c) = 0.0;
+  return {q, r};
+}
+
+Index rank(const Matrix& a, double tol) {
+  const bool wide = a.cols() > a.rows();
+  const Matrix work = wide ? a.transpose() : a;
+  const Qr f = qr(work);
+  const double scale = std::max(work.max_abs(), 1.0);
+  Index rk = 0;
+  for (Index i = 0; i < std::min(f.r.rows(), f.r.cols()); ++i)
+    if (std::abs(f.r(i, i)) > tol * scale) ++rk;
+  return rk;
+}
+
+Matrix lstsq(const Matrix& a, const Matrix& b) {
+  TTDIM_EXPECTS(a.rows() == b.rows());
+  const Qr f = qr(a);
+  const Matrix qtb = f.q.transpose() * b;
+  const Index n = a.cols();
+  Matrix x(n, b.cols());
+  for (Index col = 0; col < b.cols(); ++col) {
+    for (Index i = n - 1; i >= 0; --i) {
+      double s = qtb(i, col);
+      for (Index j = i + 1; j < n; ++j) s -= f.r(i, j) * x(j, col);
+      if (std::abs(f.r(i, i)) < 1e-13)
+        throw std::domain_error("lstsq: rank-deficient matrix");
+      x(i, col) = s / f.r(i, i);
+    }
+  }
+  return x;
+}
+
+}  // namespace ttdim::linalg

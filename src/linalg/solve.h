@@ -1,0 +1,52 @@
+// Linear solves and factorisations for small dense systems.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace ttdim::linalg {
+
+/// LU factorisation with partial pivoting of a square matrix.
+/// Throws std::domain_error when the matrix is singular to working
+/// precision.
+class Lu {
+ public:
+  explicit Lu(const Matrix& a);
+
+  /// Solve a * x = b for (possibly multi-column) right-hand side b.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+  [[nodiscard]] Matrix inverse() const;
+  [[nodiscard]] double determinant() const;
+  /// True when |pivot| fell below `tol * max_abs` during elimination.
+  [[nodiscard]] bool singular() const noexcept { return singular_; }
+
+ private:
+  Matrix lu_;               // packed L (unit diag, below) and U (on/above)
+  std::vector<Index> piv_;  // row permutation
+  int sign_ = 1;            // permutation parity for the determinant
+  bool singular_ = false;
+};
+
+/// Convenience: x = a^{-1} b via LU. Throws on singular a.
+[[nodiscard]] Matrix solve(const Matrix& a, const Matrix& b);
+
+/// Convenience: a^{-1} via LU. Throws on singular a.
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+[[nodiscard]] double determinant(const Matrix& a);
+
+/// Householder QR factorisation a = q * r, q orthogonal (rows x rows),
+/// r upper-trapezoidal (rows x cols). Works for rows >= cols.
+struct Qr {
+  Matrix q;
+  Matrix r;
+};
+[[nodiscard]] Qr qr(const Matrix& a);
+
+/// Rank of a matrix via QR with column-norm based tolerance.
+[[nodiscard]] Index rank(const Matrix& a, double tol = 1e-10);
+
+/// Least-squares solve min ||a x - b|| via QR (a must have full column
+/// rank).
+[[nodiscard]] Matrix lstsq(const Matrix& a, const Matrix& b);
+
+}  // namespace ttdim::linalg

@@ -1,0 +1,106 @@
+#include "mapping/first_fit.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.h"
+
+namespace ttdim::mapping {
+
+namespace {
+
+int max_t_minus(const AppTiming& app) {
+  int m = 0;
+  for (int v : app.t_minus) m = std::max(m, v);
+  return m;
+}
+
+}  // namespace
+
+std::vector<int> paper_sort_order(const std::vector<AppTiming>& apps) {
+  std::vector<int> order(apps.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const AppTiming& aa = apps[static_cast<size_t>(a)];
+    const AppTiming& ab = apps[static_cast<size_t>(b)];
+    if (aa.t_star_w != ab.t_star_w) return aa.t_star_w < ab.t_star_w;
+    return max_t_minus(aa) < max_t_minus(ab);
+  });
+  return order;
+}
+
+namespace {
+
+/// Shared walk for the fit heuristics: `pick` selects among the admitting
+/// slot indices (or returns -1 for "open a new slot").
+SlotAssignment fit_walk(const std::vector<AppTiming>& apps,
+                        const std::vector<int>& order,
+                        const SlotOracle& oracle, bool best_fit_mode) {
+  TTDIM_EXPECTS(order.size() == apps.size());
+  SlotAssignment assignment;
+  for (int idx : order) {
+    TTDIM_EXPECTS(idx >= 0 && idx < static_cast<int>(apps.size()));
+    int chosen = -1;
+    size_t chosen_size = 0;
+    for (size_t s = 0; s < assignment.slots.size(); ++s) {
+      std::vector<int>& slot = assignment.slots[s];
+      std::vector<AppTiming> candidate;
+      candidate.reserve(slot.size() + 1);
+      for (int member : slot)
+        candidate.push_back(apps[static_cast<size_t>(member)]);
+      candidate.push_back(apps[static_cast<size_t>(idx)]);
+      if (!oracle(candidate)) continue;
+      if (!best_fit_mode) {
+        chosen = static_cast<int>(s);
+        break;
+      }
+      if (chosen < 0 || slot.size() > chosen_size) {
+        chosen = static_cast<int>(s);
+        chosen_size = slot.size();
+      }
+    }
+    if (chosen >= 0) {
+      assignment.slots[static_cast<size_t>(chosen)].push_back(idx);
+    } else {
+      // A new dedicated slot must always admit a single application.
+      TTDIM_CHECK(oracle({apps[static_cast<size_t>(idx)]}));
+      assignment.slots.push_back({idx});
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+SlotAssignment first_fit(const std::vector<AppTiming>& apps,
+                         const std::vector<int>& order,
+                         const SlotOracle& oracle) {
+  return fit_walk(apps, order, oracle, /*best_fit_mode=*/false);
+}
+
+SlotAssignment best_fit(const std::vector<AppTiming>& apps,
+                        const std::vector<int>& order,
+                        const SlotOracle& oracle) {
+  return fit_walk(apps, order, oracle, /*best_fit_mode=*/true);
+}
+
+std::vector<int> sort_order(const std::vector<AppTiming>& apps,
+                            SortOrder order) {
+  switch (order) {
+    case SortOrder::kPaper:
+      return paper_sort_order(apps);
+    case SortOrder::kInput: {
+      std::vector<int> out(apps.size());
+      std::iota(out.begin(), out.end(), 0);
+      return out;
+    }
+    case SortOrder::kTstarDescending: {
+      std::vector<int> out = paper_sort_order(apps);
+      std::reverse(out.begin(), out.end());
+      return out;
+    }
+  }
+  return {};
+}
+
+}  // namespace ttdim::mapping

@@ -1,0 +1,78 @@
+// First-fit mapping of applications to TT slots (paper Sec. 5, "Resource
+// mapping"), parameterised by the admission oracle so that the proposed
+// model-checking admission and the baseline [9] analysis share the same
+// heuristic.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "verify/app_timing.h"
+
+namespace ttdim::mapping {
+
+using verify::AppTiming;
+
+/// Admission oracle: can this set of applications share one slot?
+using SlotOracle =
+    std::function<bool(const std::vector<AppTiming>& slot_apps)>;
+
+/// Result of a first-fit run.
+struct SlotAssignment {
+  /// slots[s] lists indices (into the *input* vector) mapped to slot s.
+  std::vector<std::vector<int>> slots;
+
+  [[nodiscard]] int slot_count() const noexcept {
+    return static_cast<int>(slots.size());
+  }
+};
+
+/// Sort order of paper Sec. 5: ascending T*w, ties broken by the smaller
+/// maximum T-dw entry. Returns indices into `apps`.
+[[nodiscard]] std::vector<int> paper_sort_order(
+    const std::vector<AppTiming>& apps);
+
+/// First-fit: walk the applications in `order`, try each existing slot in
+/// creation order, open a new slot when no existing slot admits the app.
+/// The oracle is consulted with the would-be slot population (existing
+/// members + candidate).
+[[nodiscard]] SlotAssignment first_fit(const std::vector<AppTiming>& apps,
+                                       const std::vector<int>& order,
+                                       const SlotOracle& oracle);
+
+/// Best-fit variant (mapping ablation): among the admitting slots pick the
+/// one with the most members (densest packing first); new slot otherwise.
+[[nodiscard]] SlotAssignment best_fit(const std::vector<AppTiming>& apps,
+                                      const std::vector<int>& order,
+                                      const SlotOracle& oracle);
+
+/// Alternative sort orders for the mapping ablation.
+enum class SortOrder {
+  kPaper,         ///< ascending T*w, ties by smaller max T-dw (Sec. 5)
+  kInput,         ///< as given
+  kTstarDescending,
+};
+[[nodiscard]] std::vector<int> sort_order(const std::vector<AppTiming>& apps,
+                                          SortOrder order);
+
+/// Number of oracle consultations a mapping run performed — the admission
+/// cost driver when the oracle is a model checker. Wraps an oracle and
+/// counts.
+class CountingOracle {
+ public:
+  explicit CountingOracle(SlotOracle inner) : inner_(std::move(inner)) {}
+
+  [[nodiscard]] SlotOracle oracle() {
+    return [this](const std::vector<AppTiming>& apps) {
+      ++calls_;
+      return inner_(apps);
+    };
+  }
+  [[nodiscard]] int calls() const noexcept { return calls_; }
+
+ private:
+  SlotOracle inner_;
+  int calls_ = 0;
+};
+
+}  // namespace ttdim::mapping

@@ -1,0 +1,188 @@
+#include "sched/slot_scheduler.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace ttdim::sched {
+
+namespace {
+
+enum class Mode { Steady, Wait, Tt, Safe };
+
+struct RuntimeApp {
+  Mode mode = Mode::Steady;
+  int elapsed = 0;   ///< samples since the disturbance was seen
+  int wt_grant = 0;  ///< wait at grant (Tt only)
+  size_t next_disturbance = 0;
+};
+
+}  // namespace
+
+std::string ScheduleResult::describe_events(
+    const std::vector<AppTiming>& apps) const {
+  std::ostringstream os;
+  for (const SlotEvent& e : events) {
+    os << "t=" << e.tick << " ";
+    switch (e.kind) {
+      case SlotEvent::Kind::Grant:
+        os << "grant " << apps[static_cast<size_t>(e.app)].name
+           << " (Tw=" << e.wait << ")";
+        break;
+      case SlotEvent::Kind::Preempt:
+        os << "preempt " << apps[static_cast<size_t>(e.app)].name;
+        break;
+      case SlotEvent::Kind::Evict:
+        os << "evict " << apps[static_cast<size_t>(e.app)].name;
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+ScheduleResult simulate_slot(const std::vector<AppTiming>& apps,
+                             const Scenario& scenario, SlotPolicy policy) {
+  TTDIM_EXPECTS(!apps.empty());
+  TTDIM_EXPECTS(scenario.disturbances.size() == apps.size());
+  TTDIM_EXPECTS(scenario.horizon > 0);
+  const size_t napps = apps.size();
+  for (size_t i = 0; i < napps; ++i) {
+    apps[i].validate();
+    const auto& d = scenario.disturbances[i];
+    for (size_t k = 0; k < d.size(); ++k) {
+      if (d[k] < 0 || d[k] >= scenario.horizon)
+        throw std::invalid_argument("scenario: disturbance outside horizon");
+      if (k > 0 && d[k] - d[k - 1] < apps[i].min_interarrival)
+        throw std::invalid_argument(
+            "scenario: disturbances of " + apps[i].name +
+            " violate the minimum inter-arrival time");
+    }
+  }
+
+  ScheduleResult result;
+  result.occupant.assign(static_cast<size_t>(scenario.horizon), -1);
+  result.tt_mask.assign(napps,
+                        std::vector<bool>(static_cast<size_t>(scenario.horizon),
+                                          false));
+  std::vector<RuntimeApp> state(napps);
+
+  for (int tick = 0; tick < scenario.horizon; ++tick) {
+    // Phase 1: one sample elapses for every non-steady application.
+    for (size_t i = 0; i < napps; ++i) {
+      RuntimeApp& a = state[i];
+      if (a.mode == Mode::Steady) continue;
+      ++a.elapsed;
+      if (a.mode == Mode::Wait && a.elapsed > apps[i].t_star_w &&
+          !result.deadline_violated) {
+        result.deadline_violated = true;
+        result.violator = static_cast<int>(i);
+        result.violation_tick = tick;
+      }
+      if (a.mode == Mode::Safe && a.elapsed >= apps[i].min_interarrival) {
+        a.mode = Mode::Steady;
+        a.elapsed = 0;
+      }
+    }
+
+    // Phase 2: disturbances seen this tick.
+    for (size_t i = 0; i < napps; ++i) {
+      RuntimeApp& a = state[i];
+      const auto& d = scenario.disturbances[i];
+      if (a.next_disturbance < d.size() &&
+          d[a.next_disturbance] == tick) {
+        if (a.mode != Mode::Steady)
+          throw std::invalid_argument(
+              "scenario: disturbance of " + apps[i].name +
+              " while the previous one is still being handled");
+        a.mode = Mode::Wait;
+        a.elapsed = 0;
+        ++a.next_disturbance;
+      }
+    }
+
+    // Phase 3: occupant bookkeeping.
+    int occupant = -1;
+    for (size_t i = 0; i < napps; ++i)
+      if (state[i].mode == Mode::Tt) occupant = static_cast<int>(i);
+    const auto any_waiter = [&]() {
+      for (size_t i = 0; i < napps; ++i)
+        if (state[i].mode == Mode::Wait) return true;
+      return false;
+    };
+    if (occupant >= 0) {
+      RuntimeApp& o = state[static_cast<size_t>(occupant)];
+      const int ct = o.elapsed - o.wt_grant;
+      const auto& t = apps[static_cast<size_t>(occupant)];
+      const int dtm = t.t_minus[static_cast<size_t>(o.wt_grant)];
+      const int dtp = t.t_plus[static_cast<size_t>(o.wt_grant)];
+      const bool evict = ct == dtp;
+      bool preempt = !evict && ct >= dtm && any_waiter();
+      if (preempt && policy == SlotPolicy::kSlackAware) {
+        std::vector<verify::WaiterView> waiters;
+        for (size_t i = 0; i < napps; ++i)
+          if (state[i].mode == Mode::Wait)
+            waiters.push_back({static_cast<int>(i), state[i].elapsed});
+        preempt = !verify::preemption_postponable(apps, waiters, occupant);
+      }
+      if (evict || preempt) {
+        o.mode = o.elapsed >= t.min_interarrival ? Mode::Steady : Mode::Safe;
+        if (o.mode == Mode::Steady) o.elapsed = 0;
+        result.events.push_back({tick,
+                                 evict ? SlotEvent::Kind::Evict
+                                       : SlotEvent::Kind::Preempt,
+                                 occupant, 0});
+        occupant = -1;
+      }
+    }
+
+    // Phase 4: grant by smallest remaining deadline, ties to the lowest
+    // application index (or the forced choice when the scenario replays a
+    // verifier counterexample).
+    if (occupant >= 0 &&
+        tick < static_cast<int>(scenario.forced_grants.size()) &&
+        scenario.forced_grants[static_cast<size_t>(tick)] >= 0)
+      throw std::invalid_argument(
+          "scenario: forced grant at tick " + std::to_string(tick) +
+          " but the slot is still occupied");
+    if (occupant < 0) {
+      int best = -1;
+      int best_remaining = INT32_MAX;
+      for (size_t i = 0; i < napps; ++i) {
+        if (state[i].mode != Mode::Wait) continue;
+        const int remaining = apps[i].t_star_w - state[i].elapsed;
+        if (remaining < best_remaining) {
+          best_remaining = remaining;
+          best = static_cast<int>(i);
+        }
+      }
+      if (tick < static_cast<int>(scenario.forced_grants.size()) &&
+          scenario.forced_grants[static_cast<size_t>(tick)] >= 0) {
+        const int forced = scenario.forced_grants[static_cast<size_t>(tick)];
+        if (forced >= static_cast<int>(napps) ||
+            state[static_cast<size_t>(forced)].mode != Mode::Wait)
+          throw std::invalid_argument(
+              "scenario: forced grant at tick " + std::to_string(tick) +
+              " names an application that is not waiting");
+        best = forced;
+      }
+      if (best >= 0) {
+        RuntimeApp& a = state[static_cast<size_t>(best)];
+        a.mode = Mode::Tt;
+        a.wt_grant = a.elapsed;
+        result.events.push_back(
+            {tick, SlotEvent::Kind::Grant, best, a.elapsed});
+        occupant = best;
+      }
+    }
+
+    result.occupant[static_cast<size_t>(tick)] = occupant;
+    if (occupant >= 0)
+      result.tt_mask[static_cast<size_t>(occupant)]
+                    [static_cast<size_t>(tick)] = true;
+  }
+  return result;
+}
+
+}  // namespace ttdim::sched

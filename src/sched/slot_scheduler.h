@@ -1,0 +1,65 @@
+// Runtime slot scheduler: the deterministic on-line counterpart of the
+// verified protocol (paper Sec. 4). Simulating it against a concrete
+// disturbance scenario produces the slot occupancy timeline used for the
+// response plots of Figs. 8 and 9.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/app_timing.h"
+#include "verify/policy.h"
+
+namespace ttdim::sched {
+
+using verify::AppTiming;
+using verify::SlotPolicy;
+
+/// Concrete disturbance scenario: for each application the ticks at which
+/// a disturbance is seen by the scheduler (sorted, spaced >= r).
+struct Scenario {
+  std::vector<std::vector<int>> disturbances;  ///< per app
+  int horizon = 0;                             ///< simulated samples
+  /// Optional grant overrides, one entry per tick (-1: default EDF
+  /// choice). Used to replay verifier counterexamples whose grants picked
+  /// a different EDF tie-break than the runtime default. A forced app must
+  /// be waiting at that tick or the simulation throws.
+  std::vector<int> forced_grants;
+};
+
+/// Slot-side events of one run.
+struct SlotEvent {
+  enum class Kind { Grant, Preempt, Evict };
+  int tick = 0;
+  Kind kind = Kind::Grant;
+  int app = 0;
+  int wait = 0;  ///< Tw at grant (Grant only)
+};
+
+/// Outcome of a deterministic slot simulation.
+struct ScheduleResult {
+  std::vector<int> occupant;  ///< per tick: app index or -1 (idle)
+  std::vector<SlotEvent> events;
+  /// Per app, per tick: true when the app transmits in the TT slot. This
+  /// is the mode mask consumed by control::SwitchedLoop::simulate_schedule.
+  std::vector<std::vector<bool>> tt_mask;
+  bool deadline_violated = false;
+  int violator = -1;        ///< app index when violated
+  int violation_tick = -1;
+
+  [[nodiscard]] std::string describe_events(
+      const std::vector<AppTiming>& apps) const;
+};
+
+/// Deterministic simulation of the EDF-like policy: waiters served by
+/// smallest remaining deadline T*w - Tw (ties: lowest app index), occupant
+/// non-preemptable before T-dw, preemptable in [T-dw, T+dw), evicted at
+/// T+dw. Under SlotPolicy::kSlackAware, preemption is additionally
+/// postponed while every waiter keeps provable slack (verify/policy.h).
+/// Throws std::invalid_argument on malformed scenarios (unsorted or closer
+/// than r).
+[[nodiscard]] ScheduleResult simulate_slot(
+    const std::vector<AppTiming>& apps, const Scenario& scenario,
+    SlotPolicy policy = SlotPolicy::kPaper);
+
+}  // namespace ttdim::sched

@@ -1,0 +1,43 @@
+#include "sched/system_scheduler.h"
+
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace ttdim::sched {
+
+SystemScheduleResult simulate_system(const std::vector<AppTiming>& apps,
+                                     const mapping::SlotAssignment& assignment,
+                                     const Scenario& scenario) {
+  TTDIM_EXPECTS(scenario.disturbances.size() == apps.size());
+  if (!scenario.forced_grants.empty())
+    throw std::invalid_argument(
+        "simulate_system: forced grants are single-slot only");
+  // Every app must appear in exactly one slot.
+  std::vector<int> owner(apps.size(), -1);
+  for (size_t s = 0; s < assignment.slots.size(); ++s) {
+    for (int i : assignment.slots[s]) {
+      TTDIM_EXPECTS(i >= 0 && i < static_cast<int>(apps.size()));
+      TTDIM_EXPECTS(owner[static_cast<size_t>(i)] < 0);
+      owner[static_cast<size_t>(i)] = static_cast<int>(s);
+    }
+  }
+  for (int o : owner) TTDIM_EXPECTS(o >= 0);
+
+  SystemScheduleResult result;
+  for (const std::vector<int>& slot : assignment.slots) {
+    std::vector<AppTiming> members;
+    Scenario sub;
+    sub.horizon = scenario.horizon;
+    for (int i : slot) {
+      members.push_back(apps[static_cast<size_t>(i)]);
+      sub.disturbances.push_back(scenario.disturbances[static_cast<size_t>(i)]);
+    }
+    ScheduleResult r = simulate_slot(members, sub);
+    result.deadline_violated |= r.deadline_violated;
+    result.per_slot.push_back(std::move(r));
+  }
+  return result;
+}
+
+}  // namespace ttdim::sched

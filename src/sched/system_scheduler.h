@@ -1,0 +1,28 @@
+// Whole-system runtime: simulate every TT slot of a slot assignment in
+// parallel (slots are independent resources; each runs the verified
+// single-slot protocol).
+#pragma once
+
+#include "mapping/first_fit.h"
+#include "sched/slot_scheduler.h"
+
+namespace ttdim::sched {
+
+/// Result of simulating all slots of an assignment.
+struct SystemScheduleResult {
+  std::vector<ScheduleResult> per_slot;  ///< one per assignment slot
+  bool deadline_violated = false;
+
+  [[nodiscard]] int slot_count() const noexcept {
+    return static_cast<int>(per_slot.size());
+  }
+};
+
+/// Simulate the full assignment against a system-wide scenario (indices of
+/// `scenario.disturbances` refer to `apps`, the same vector the assignment
+/// indexes into). Forced grants are not supported at the system level.
+[[nodiscard]] SystemScheduleResult simulate_system(
+    const std::vector<AppTiming>& apps,
+    const mapping::SlotAssignment& assignment, const Scenario& scenario);
+
+}  // namespace ttdim::sched

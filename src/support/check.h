@@ -1,0 +1,37 @@
+// Precondition / invariant checking in the spirit of the GSL's Expects /
+// Ensures (C++ Core Guidelines I.6, E.12). Violations throw std::logic_error
+// so library misuse is loud in both library code and tests; they are never
+// compiled out because every caller of this library is an offline design
+// tool where correctness dominates speed.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ttdim::support {
+
+[[noreturn]] inline void fail(const char* kind, const char* cond,
+                              const char* file, int line) {
+  throw std::logic_error(std::string(kind) + " violated: " + cond + " at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace ttdim::support
+
+#define TTDIM_EXPECTS(cond)                                          \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::ttdim::support::fail("precondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define TTDIM_ENSURES(cond)                                           \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::ttdim::support::fail("postcondition", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define TTDIM_CHECK(cond)                                            \
+  do {                                                               \
+    if (!(cond))                                                     \
+      ::ttdim::support::fail("invariant", #cond, __FILE__, __LINE__); \
+  } while (false)

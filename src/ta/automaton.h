@@ -1,0 +1,73 @@
+// Timed-automaton description structures, UPPAAL-flavoured:
+// locations (normal / urgent / committed), edges with clock guards, data
+// guards over bounded integer variables, binary channel synchronisation,
+// variable updates and clock resets. Clock-guard bounds may be computed
+// from the variable store, which is how the paper's scheduler compares the
+// dwell clock cT against the looked-up DT-[app] / DT+[app] (Sec. 4,
+// challenge (ii)).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ttdim::ta {
+
+/// Bounded-integer variable store shared by the whole network.
+using VarStore = std::vector<int32_t>;
+
+/// Relation of a clock guard / invariant atom.
+enum class Rel { Lt, Le, Ge, Gt, Eq };
+
+/// One atom `clock (rel) bound`. When `bound_fn` is set the bound is
+/// evaluated against the current variable store at exploration time;
+/// otherwise `constant` is used.
+struct ClockCond {
+  int clock = 0;
+  Rel rel = Rel::Le;
+  int32_t constant = 0;
+  std::function<int32_t(const VarStore&)> bound_fn;
+
+  [[nodiscard]] int32_t bound(const VarStore& vars) const {
+    return bound_fn ? bound_fn(vars) : constant;
+  }
+};
+
+/// Channel synchronisation action of an edge. channel < 0 means internal.
+struct Sync {
+  int channel = -1;
+  bool send = false;  ///< true: chan!, false: chan?
+};
+
+/// Edge of one automaton.
+struct Edge {
+  int from = 0;
+  int to = 0;
+  Sync sync{};
+  std::vector<ClockCond> clock_guards;
+  /// Data guard over the variables; empty means true.
+  std::function<bool(const VarStore&)> data_guard;
+  /// Variable update, applied after the data guard (sender before receiver
+  /// on synchronising edges, as in UPPAAL).
+  std::function<void(VarStore&)> update;
+  std::vector<int> clock_resets;
+  std::string label;  ///< for traces
+};
+
+enum class LocKind { Normal, Urgent, Committed };
+
+struct Location {
+  std::string name;
+  LocKind kind = LocKind::Normal;
+  std::vector<ClockCond> invariant;
+};
+
+/// One timed automaton of the network.
+struct Automaton {
+  std::string name;
+  std::vector<Location> locations;
+  std::vector<Edge> edges;
+  int initial = 0;
+};
+
+}  // namespace ttdim::ta

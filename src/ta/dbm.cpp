@@ -1,0 +1,183 @@
+#include "ta/dbm.h"
+
+#include <sstream>
+
+#include "support/check.h"
+
+namespace ttdim::ta {
+
+Dbm::Dbm(int clocks) : clocks_(clocks) {
+  TTDIM_EXPECTS(clocks >= 0);
+  const int d = dim();
+  m_.assign(static_cast<size_t>(d * d), bound_zero_weak());
+}
+
+Bound Dbm::at(int i, int j) const {
+  TTDIM_EXPECTS(i >= 0 && i < dim() && j >= 0 && j < dim());
+  return m_[static_cast<size_t>(idx(i, j))];
+}
+
+void Dbm::set(int i, int j, Bound b) {
+  TTDIM_EXPECTS(i >= 0 && i < dim() && j >= 0 && j < dim());
+  m_[static_cast<size_t>(idx(i, j))] = b;
+}
+
+bool Dbm::empty() const { return at(0, 0) < bound_zero_weak(); }
+
+void Dbm::canonicalize() {
+  const int d = dim();
+  for (int k = 0; k < d; ++k) {
+    for (int i = 0; i < d; ++i) {
+      const Bound ik = m_[static_cast<size_t>(idx(i, k))];
+      if (ik == kInfinity) continue;
+      for (int j = 0; j < d; ++j) {
+        const Bound kj = m_[static_cast<size_t>(idx(k, j))];
+        if (kj == kInfinity) continue;
+        const Bound via = bound_add(ik, kj);
+        Bound& cur = m_[static_cast<size_t>(idx(i, j))];
+        if (via < cur) cur = via;
+      }
+    }
+  }
+  for (int i = 0; i < d; ++i) {
+    if (m_[static_cast<size_t>(idx(i, i))] < bound_zero_weak()) {
+      // Negative cycle: mark empty on d[0][0] and stop.
+      m_[static_cast<size_t>(idx(0, 0))] = bound_strict(-1);
+      return;
+    }
+  }
+}
+
+bool Dbm::constrain(int i, int j, Bound b) {
+  TTDIM_EXPECTS(i >= 0 && i < dim() && j >= 0 && j < dim());
+  if (empty()) return false;
+  if (b >= at(i, j)) return true;  // no tightening
+  // Emptiness: xi - xj <= b and xj - xi <= d[j][i] must compose to >= 0.
+  if (bound_add(b, at(j, i)) < bound_zero_weak()) {
+    set(0, 0, bound_strict(-1));
+    return false;
+  }
+  set(i, j, b);
+  // Incremental closure: tighten every pair through the new edge.
+  const int d = dim();
+  for (int a = 0; a < d; ++a) {
+    const Bound ai = at(a, i);
+    if (ai == kInfinity) continue;
+    for (int c = 0; c < d; ++c) {
+      const Bound jc = at(j, c);
+      if (jc == kInfinity) continue;
+      const Bound via = bound_add(bound_add(ai, b), jc);
+      if (via < at(a, c)) set(a, c, via);
+    }
+  }
+  return true;
+}
+
+void Dbm::up() {
+  if (empty()) return;
+  for (int i = 1; i < dim(); ++i) set(i, 0, kInfinity);
+}
+
+void Dbm::reset(int x, int32_t v) {
+  TTDIM_EXPECTS(x >= 1 && x < dim());
+  if (empty()) return;
+  for (int j = 0; j < dim(); ++j) {
+    if (j == x) continue;
+    // x - j  <=  v + (0 - j)   and   j - x <= (j - 0) - v
+    set(x, j, bound_add(bound_weak(v), at(0, j)));
+    set(j, x, bound_add(at(j, 0), bound_weak(-v)));
+  }
+  set(x, x, bound_zero_weak());
+}
+
+void Dbm::assign_clock(int x, int y) {
+  TTDIM_EXPECTS(x >= 1 && x < dim() && y >= 1 && y < dim());
+  if (empty() || x == y) return;
+  for (int j = 0; j < dim(); ++j) {
+    if (j == x) continue;
+    set(x, j, at(y, j));
+    set(j, x, at(j, y));
+  }
+  set(x, y, bound_zero_weak());
+  set(y, x, bound_zero_weak());
+  set(x, x, bound_zero_weak());
+}
+
+bool Dbm::included_in(const Dbm& other) const {
+  TTDIM_EXPECTS(clocks_ == other.clocks_);
+  for (size_t i = 0; i < m_.size(); ++i)
+    if (m_[i] > other.m_[i]) return false;
+  return true;
+}
+
+bool Dbm::operator==(const Dbm& other) const {
+  return clocks_ == other.clocks_ && m_ == other.m_;
+}
+
+void Dbm::extrapolate(const std::vector<int32_t>& max_constants) {
+  TTDIM_EXPECTS(static_cast<int>(max_constants.size()) == dim());
+  if (empty()) return;
+  bool changed = false;
+  const int d = dim();
+  for (int i = 0; i < d; ++i) {
+    for (int j = 0; j < d; ++j) {
+      if (i == j) continue;
+      Bound& b = m_[static_cast<size_t>(idx(i, j))];
+      if (b == kInfinity) continue;
+      if (i != 0 && b > bound_weak(max_constants[static_cast<size_t>(i)])) {
+        b = kInfinity;
+        changed = true;
+      } else if (b < bound_strict(-max_constants[static_cast<size_t>(j)])) {
+        b = bound_strict(-max_constants[static_cast<size_t>(j)]);
+        changed = true;
+      }
+    }
+  }
+  if (changed) canonicalize();
+}
+
+bool Dbm::contains_point(const std::vector<int32_t>& v) const {
+  TTDIM_EXPECTS(static_cast<int>(v.size()) == clocks_);
+  if (empty()) return false;
+  // Point containment: for every pair, vi - vj must satisfy d[i][j].
+  auto value = [&](int i) -> int32_t {
+    return i == 0 ? 0 : v[static_cast<size_t>(i - 1)];
+  };
+  for (int i = 0; i < dim(); ++i) {
+    for (int j = 0; j < dim(); ++j) {
+      const Bound b = at(i, j);
+      if (b == kInfinity) continue;
+      const int32_t diff = value(i) - value(j);
+      if (bound_is_weak(b) ? diff > bound_value(b) : diff >= bound_value(b))
+        return false;
+    }
+  }
+  return true;
+}
+
+size_t Dbm::hash() const {
+  size_t h = 1469598103934665603ull;
+  for (Bound b : m_) {
+    h ^= static_cast<size_t>(static_cast<uint32_t>(b));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string Dbm::to_string() const {
+  std::ostringstream os;
+  for (int i = 0; i < dim(); ++i) {
+    for (int j = 0; j < dim(); ++j) {
+      const Bound b = at(i, j);
+      if (b == kInfinity) {
+        os << "inf ";
+      } else {
+        os << bound_value(b) << (bound_is_weak(b) ? "<= " : "<  ");
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ttdim::ta

@@ -1,0 +1,97 @@
+// Difference Bound Matrices — the zone representation used by the
+// UPPAAL-style reachability checker (paper Sec. 4 relies on UPPAAL; this
+// repository ships its own engine, see DESIGN.md "Substitutions").
+//
+// A DBM over clocks x1..xk (x0 is the constant-zero reference clock) stores
+// bounds d[i][j] meaning xi - xj < / <= c. Bounds are encoded in a single
+// int: enc = (c << 1) | weak_bit, with +infinity = kInfinity. Smaller
+// encoding == tighter bound; encoded bounds add like (c1+c2, weak1 && weak2).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace ttdim::ta {
+
+/// Encoded clock bound (see file comment).
+using Bound = int32_t;
+
+inline constexpr Bound kInfinity = std::numeric_limits<int32_t>::max();
+
+/// (c, <) for strict, (c, <=) for weak bounds.
+[[nodiscard]] constexpr Bound bound_strict(int32_t c) { return c << 1; }
+[[nodiscard]] constexpr Bound bound_weak(int32_t c) { return (c << 1) | 1; }
+/// The tightest possible bound encodes the empty zone marker on d[0][0].
+[[nodiscard]] constexpr Bound bound_zero_weak() { return bound_weak(0); }
+
+[[nodiscard]] constexpr int32_t bound_value(Bound b) { return b >> 1; }
+[[nodiscard]] constexpr bool bound_is_weak(Bound b) { return (b & 1) != 0; }
+
+/// Saturating bound addition.
+[[nodiscard]] constexpr Bound bound_add(Bound a, Bound b) {
+  if (a == kInfinity || b == kInfinity) return kInfinity;
+  return ((bound_value(a) + bound_value(b)) << 1) |
+         ((a & 1) & (b & 1));
+}
+
+/// Canonical-form difference bound matrix over `clocks` real clocks (plus
+/// the implicit reference clock 0). Freshly constructed DBMs represent the
+/// zone where all clocks equal zero.
+class Dbm {
+ public:
+  explicit Dbm(int clocks);
+
+  [[nodiscard]] int clocks() const noexcept { return clocks_; }
+  [[nodiscard]] int dim() const noexcept { return clocks_ + 1; }
+
+  [[nodiscard]] Bound at(int i, int j) const;
+  void set(int i, int j, Bound b);
+
+  /// True when the zone has no solutions. Canonical form required.
+  [[nodiscard]] bool empty() const;
+
+  /// Restore canonical (all-pairs shortest path) form; detects emptiness.
+  void canonicalize();
+
+  /// Constrain with xi - xj (rel) bound; keeps canonical form incrementally.
+  /// Returns false (and marks empty) when the zone becomes empty.
+  bool constrain(int i, int j, Bound b);
+
+  /// Delay: remove all upper bounds (future closure). Canonical in, canonical
+  /// out.
+  void up();
+
+  /// Reset clock x to integer value v. Canonical in, canonical out.
+  void reset(int x, int32_t v);
+
+  /// Copy the value bounds of clock y into clock x (x := y).
+  void assign_clock(int x, int y);
+
+  /// True when *this is included in `other` (entry-wise bound comparison;
+  /// both canonical).
+  [[nodiscard]] bool included_in(const Dbm& other) const;
+
+  [[nodiscard]] bool operator==(const Dbm& other) const;
+
+  /// Classic max-bounds extrapolation (ExtraM): bounds beyond max[i] are
+  /// abstracted away so the zone graph is finite. `max_constants[i]` is the
+  /// largest constant clock i is ever compared against (index 0 unused).
+  void extrapolate(const std::vector<int32_t>& max_constants);
+
+  /// True when the zone contains the single point where clock i == v[i].
+  [[nodiscard]] bool contains_point(const std::vector<int32_t>& v) const;
+
+  [[nodiscard]] size_t hash() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  [[nodiscard]] int idx(int i, int j) const { return i * dim() + j; }
+
+  int clocks_;
+  std::vector<Bound> m_;
+};
+
+}  // namespace ttdim::ta

@@ -1,0 +1,495 @@
+#include "ta/network.h"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace ttdim::ta {
+
+int Network::add_clock(std::string name, int32_t max_constant) {
+  TTDIM_EXPECTS(max_constant >= 0);
+  clock_names_.push_back(std::move(name));
+  max_constants_.push_back(max_constant);
+  return static_cast<int>(clock_names_.size()) - 1;
+}
+
+int Network::add_var(std::string name, int32_t initial) {
+  var_names_.push_back(std::move(name));
+  initial_vars_.push_back(initial);
+  return static_cast<int>(var_names_.size()) - 1;
+}
+
+int Network::add_channel(std::string name) {
+  channel_names_.push_back(std::move(name));
+  channel_broadcast_.push_back(false);
+  return static_cast<int>(channel_names_.size()) - 1;
+}
+
+int Network::add_broadcast_channel(std::string name) {
+  channel_names_.push_back(std::move(name));
+  channel_broadcast_.push_back(true);
+  return static_cast<int>(channel_names_.size()) - 1;
+}
+
+bool Network::is_broadcast(int channel) const {
+  TTDIM_EXPECTS(channel >= 0 &&
+                channel < static_cast<int>(channel_broadcast_.size()));
+  return channel_broadcast_[static_cast<size_t>(channel)];
+}
+
+int Network::add_automaton(Automaton automaton) {
+  TTDIM_EXPECTS(!automaton.locations.empty());
+  TTDIM_EXPECTS(automaton.initial >= 0 &&
+                automaton.initial <
+                    static_cast<int>(automaton.locations.size()));
+  for (const Edge& e : automaton.edges) {
+    TTDIM_EXPECTS(e.from >= 0 &&
+                  e.from < static_cast<int>(automaton.locations.size()));
+    TTDIM_EXPECTS(e.to >= 0 &&
+                  e.to < static_cast<int>(automaton.locations.size()));
+    TTDIM_EXPECTS(e.sync.channel < static_cast<int>(channel_names_.size()));
+    for (int c : e.clock_resets) TTDIM_EXPECTS(c >= 1 && c <= n_clocks());
+    for (const ClockCond& g : e.clock_guards)
+      TTDIM_EXPECTS(g.clock >= 1 && g.clock <= n_clocks());
+    // Broadcast receivers must not carry clock guards (their enabledness
+    // must be decidable from the discrete state alone; same restriction
+    // as classic UPPAAL).
+    if (e.sync.channel >= 0 && !e.sync.send &&
+        is_broadcast(e.sync.channel))
+      TTDIM_EXPECTS(e.clock_guards.empty());
+  }
+  automata_.push_back(std::move(automaton));
+  return static_cast<int>(automata_.size()) - 1;
+}
+
+const Automaton& Network::automaton(int i) const {
+  TTDIM_EXPECTS(i >= 0 && i < n_automata());
+  return automata_[static_cast<size_t>(i)];
+}
+
+const std::string& Network::clock_name(int id) const {
+  TTDIM_EXPECTS(id >= 0 && id <= n_clocks());
+  return clock_names_[static_cast<size_t>(id)];
+}
+
+const std::string& Network::channel_name(int id) const {
+  TTDIM_EXPECTS(id >= 0 && id < static_cast<int>(channel_names_.size()));
+  return channel_names_[static_cast<size_t>(id)];
+}
+
+void Network::set_max_constant(int clock, int32_t value) {
+  TTDIM_EXPECTS(clock >= 1 && clock <= n_clocks());
+  TTDIM_EXPECTS(value >= 0);
+  max_constants_[static_cast<size_t>(clock)] = value;
+}
+
+namespace {
+
+/// Applies one guard / invariant atom to a zone. Returns false when the
+/// zone became empty.
+bool apply_cond(Dbm& zone, const ClockCond& cond, const VarStore& vars) {
+  const int32_t c = cond.bound(vars);
+  const int x = cond.clock;
+  switch (cond.rel) {
+    case Rel::Lt:
+      return zone.constrain(x, 0, bound_strict(c));
+    case Rel::Le:
+      return zone.constrain(x, 0, bound_weak(c));
+    case Rel::Gt:
+      return zone.constrain(0, x, bound_strict(-c));
+    case Rel::Ge:
+      return zone.constrain(0, x, bound_weak(-c));
+    case Rel::Eq:
+      return zone.constrain(x, 0, bound_weak(c)) &&
+             zone.constrain(0, x, bound_weak(-c));
+  }
+  return false;
+}
+
+struct StoredState {
+  SymbolicState sym;
+  long parent = -1;
+  std::string action;
+};
+
+struct DiscreteKey {
+  std::vector<int> locations;
+  VarStore vars;
+
+  bool operator==(const DiscreteKey& o) const {
+    return locations == o.locations && vars == o.vars;
+  }
+};
+
+struct DiscreteKeyHash {
+  size_t operator()(const DiscreteKey& k) const {
+    size_t h = 1469598103934665603ull;
+    for (int v : k.locations) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ull;
+    }
+    for (int32_t v : k.vars) {
+      h ^= static_cast<size_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Exploration context shared by the reachability search.
+class Explorer {
+ public:
+  Explorer(const Network& net, const ZoneChecker::Options& options)
+      : net_(net), options_(options) {}
+
+  ReachResult run(const ZoneChecker::Goal& goal) {
+    ReachResult result;
+    SymbolicState init = initial_state();
+    if (init.zone.empty())
+      throw std::logic_error("ZoneChecker: initial invariants unsatisfiable");
+    add_state(std::move(init), -1, "init");
+
+    for (size_t head = 0; head < queue_.size(); ++head) {
+      const long index = queue_[head];
+      ++result.states_explored;
+      // Copy out what we need: states_ may reallocate while expanding.
+      const std::vector<int> locations = states_[static_cast<size_t>(index)].sym.locations;
+      const VarStore vars = states_[static_cast<size_t>(index)].sym.vars;
+
+      if (goal(locations, vars)) {
+        result.reachable = true;
+        result.states_stored = static_cast<long>(states_.size());
+        if (options_.want_trace) result.trace = build_trace(index);
+        return result;
+      }
+      expand(index);
+      if (static_cast<long>(states_.size()) > options_.max_states)
+        throw std::runtime_error("ZoneChecker: state budget exhausted");
+    }
+    result.states_stored = static_cast<long>(states_.size());
+    return result;
+  }
+
+  /// Deadlock search: a state without discrete successors that also cannot
+  /// let time diverge (some location is urgent/committed or carries an
+  /// upper-bounding invariant).
+  ReachResult run_deadlock() {
+    ReachResult result;
+    SymbolicState init = initial_state();
+    if (init.zone.empty())
+      throw std::logic_error("ZoneChecker: initial invariants unsatisfiable");
+    add_state(std::move(init), -1, "init");
+
+    for (size_t head = 0; head < queue_.size(); ++head) {
+      const long index = queue_[head];
+      ++result.states_explored;
+      const long produced = expand(index);
+      if (produced == 0 && !time_can_diverge(index)) {
+        result.reachable = true;
+        result.states_stored = static_cast<long>(states_.size());
+        if (options_.want_trace) result.trace = build_trace(index);
+        return result;
+      }
+      if (static_cast<long>(states_.size()) > options_.max_states)
+        throw std::runtime_error("ZoneChecker: state budget exhausted");
+    }
+    result.states_stored = static_cast<long>(states_.size());
+    return result;
+  }
+
+ private:
+  SymbolicState initial_state() {
+    SymbolicState s;
+    s.locations.resize(static_cast<size_t>(net_.n_automata()));
+    for (int a = 0; a < net_.n_automata(); ++a)
+      s.locations[static_cast<size_t>(a)] = net_.automaton(a).initial;
+    s.vars = net_.initial_vars();
+    s.zone = Dbm(net_.n_clocks());
+    finalize(s);
+    return s;
+  }
+
+  [[nodiscard]] bool any_committed(const std::vector<int>& locations) const {
+    for (int a = 0; a < net_.n_automata(); ++a)
+      if (kind_of(a, locations[static_cast<size_t>(a)]) == LocKind::Committed)
+        return true;
+    return false;
+  }
+
+  [[nodiscard]] bool any_no_delay(const std::vector<int>& locations) const {
+    for (int a = 0; a < net_.n_automata(); ++a) {
+      const LocKind k = kind_of(a, locations[static_cast<size_t>(a)]);
+      if (k == LocKind::Committed || k == LocKind::Urgent) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] LocKind kind_of(int automaton, int location) const {
+    return net_.automaton(automaton)
+        .locations[static_cast<size_t>(location)]
+        .kind;
+  }
+
+  /// Apply all location invariants; false when the zone empties.
+  bool apply_invariants(SymbolicState& s) const {
+    for (int a = 0; a < net_.n_automata(); ++a) {
+      const Location& loc =
+          net_.automaton(a)
+              .locations[static_cast<size_t>(s.locations[static_cast<size_t>(a)])];
+      for (const ClockCond& inv : loc.invariant)
+        if (!apply_cond(s.zone, inv, s.vars)) return false;
+    }
+    return true;
+  }
+
+  /// Delay (unless urgent/committed), re-apply invariants, extrapolate.
+  /// Returns false when the state dies.
+  bool finalize(SymbolicState& s) const {
+    if (!apply_invariants(s)) return false;
+    if (!any_no_delay(s.locations)) {
+      s.zone.up();
+      if (!apply_invariants(s)) return false;
+    }
+    s.zone.extrapolate(net_.max_constants());
+    return !s.zone.empty();
+  }
+
+  void add_state(SymbolicState s, long parent, std::string action) {
+    DiscreteKey key{s.locations, s.vars};
+    auto& zone_list = seen_[key];
+    for (long idx : zone_list) {
+      if (s.zone.included_in(states_[static_cast<size_t>(idx)].sym.zone))
+        return;  // already covered
+    }
+    states_.push_back({std::move(s), parent, std::move(action)});
+    const long index = static_cast<long>(states_.size()) - 1;
+    zone_list.push_back(index);
+    queue_.push_back(index);
+  }
+
+  /// Returns the number of live successor states produced (before
+  /// inclusion dedup) — zero means no discrete transition is enabled.
+  long expand(long index) {
+    const SymbolicState cur = states_[static_cast<size_t>(index)].sym;
+    const bool committed_mode = any_committed(cur.locations);
+    long produced = 0;
+
+    // Internal edges.
+    for (int a = 0; a < net_.n_automata(); ++a) {
+      const Automaton& automaton = net_.automaton(a);
+      const int loc = cur.locations[static_cast<size_t>(a)];
+      if (committed_mode && kind_of(a, loc) != LocKind::Committed) continue;
+      for (const Edge& e : automaton.edges) {
+        if (e.from != loc || e.sync.channel >= 0) continue;
+        if (try_fire(index, cur, a, e, nullptr, -1)) ++produced;
+      }
+    }
+
+    // Synchronisations.
+    for (int a = 0; a < net_.n_automata(); ++a) {
+      const Automaton& sender_automaton = net_.automaton(a);
+      const int loc_a = cur.locations[static_cast<size_t>(a)];
+      for (const Edge& send : sender_automaton.edges) {
+        if (send.from != loc_a || send.sync.channel < 0 || !send.sync.send)
+          continue;
+        if (net_.is_broadcast(send.sync.channel)) {
+          produced += fire_broadcast(index, cur, a, send, committed_mode);
+          continue;
+        }
+        for (int b = 0; b < net_.n_automata(); ++b) {
+          if (b == a) continue;
+          const Automaton& recv_automaton = net_.automaton(b);
+          const int loc_b = cur.locations[static_cast<size_t>(b)];
+          if (committed_mode && kind_of(a, loc_a) != LocKind::Committed &&
+              kind_of(b, loc_b) != LocKind::Committed)
+            continue;
+          for (const Edge& recv : recv_automaton.edges) {
+            if (recv.from != loc_b || recv.sync.channel != send.sync.channel ||
+                recv.sync.send)
+              continue;
+            if (try_fire(index, cur, a, send, &recv, b)) ++produced;
+          }
+        }
+      }
+    }
+    return produced;
+  }
+
+  /// Attempt to fire `edge` of automaton `a` (optionally synchronising with
+  /// `recv` of automaton `b`); pushes the successor when enabled. Returns
+  /// true when a live successor was produced.
+  bool try_fire(long parent, const SymbolicState& cur, int a, const Edge& edge,
+                const Edge* recv, int b) {
+    // Data guards are evaluated on the pre-state variables.
+    if (edge.data_guard && !edge.data_guard(cur.vars)) return false;
+    if (recv && recv->data_guard && !recv->data_guard(cur.vars)) return false;
+
+    SymbolicState next;
+    next.locations = cur.locations;
+    next.vars = cur.vars;
+    next.zone = cur.zone;
+
+    for (const ClockCond& g : edge.clock_guards)
+      if (!apply_cond(next.zone, g, cur.vars)) return false;
+    if (recv)
+      for (const ClockCond& g : recv->clock_guards)
+        if (!apply_cond(next.zone, g, cur.vars)) return false;
+
+    // Updates: sender first, then receiver (UPPAAL order).
+    if (edge.update) edge.update(next.vars);
+    if (recv && recv->update) recv->update(next.vars);
+
+    for (int c : edge.clock_resets) next.zone.reset(c, 0);
+    if (recv)
+      for (int c : recv->clock_resets) next.zone.reset(c, 0);
+
+    next.locations[static_cast<size_t>(a)] = edge.to;
+    if (recv) next.locations[static_cast<size_t>(b)] = recv->to;
+
+    if (!finalize(next)) return false;
+
+    std::string action = edge.label.empty()
+                             ? net_.automaton(a).name + ".edge"
+                             : edge.label;
+    if (recv && !recv->label.empty()) action += " / " + recv->label;
+    add_state(std::move(next), parent, std::move(action));
+    return true;
+  }
+
+  /// Broadcast: the sender fires together with every automaton that has an
+  /// enabled receiving edge; automata with several enabled receiving edges
+  /// contribute one branch per edge (the UPPAAL product semantics).
+  /// Receivers are data-guarded only (enforced at add_automaton).
+  long fire_broadcast(long parent, const SymbolicState& cur, int a,
+                      const Edge& send, bool committed_mode) {
+    if (send.data_guard && !send.data_guard(cur.vars)) return 0;
+    // Per automaton: the enabled receiving edges (possibly none).
+    std::vector<std::pair<int, std::vector<const Edge*>>> participants;
+    for (int b = 0; b < net_.n_automata(); ++b) {
+      if (b == a) continue;
+      const Automaton& automaton = net_.automaton(b);
+      const int loc = cur.locations[static_cast<size_t>(b)];
+      std::vector<const Edge*> enabled;
+      for (const Edge& recv : automaton.edges) {
+        if (recv.from != loc || recv.sync.channel != send.sync.channel ||
+            recv.sync.send)
+          continue;
+        if (recv.data_guard && !recv.data_guard(cur.vars)) continue;
+        enabled.push_back(&recv);
+      }
+      if (!enabled.empty()) participants.push_back({b, std::move(enabled)});
+    }
+    // Committed rule: some participant (sender or receiver) must be
+    // committed when the state is in committed mode.
+    if (committed_mode) {
+      bool ok = kind_of(a, cur.locations[static_cast<size_t>(a)]) ==
+                LocKind::Committed;
+      for (const auto& [b, edges] : participants)
+        ok = ok || kind_of(b, cur.locations[static_cast<size_t>(b)]) ==
+                       LocKind::Committed;
+      if (!ok) return 0;
+    }
+    // Walk the product of per-automaton edge choices.
+    std::vector<const Edge*> choice(participants.size(), nullptr);
+    long produced = 0;
+    const std::function<void(size_t)> recurse = [&](size_t level) {
+      if (level == participants.size()) {
+        produced += fire_broadcast_instance(parent, cur, a, send,
+                                            participants, choice)
+                        ? 1
+                        : 0;
+        return;
+      }
+      for (const Edge* e : participants[level].second) {
+        choice[level] = e;
+        recurse(level + 1);
+      }
+    };
+    recurse(0);
+    return produced;
+  }
+
+  bool fire_broadcast_instance(
+      long parent, const SymbolicState& cur, int a, const Edge& send,
+      const std::vector<std::pair<int, std::vector<const Edge*>>>&
+          participants,
+      const std::vector<const Edge*>& choice) {
+    SymbolicState next;
+    next.locations = cur.locations;
+    next.vars = cur.vars;
+    next.zone = cur.zone;
+
+    for (const ClockCond& g : send.clock_guards)
+      if (!apply_cond(next.zone, g, cur.vars)) return false;
+
+    if (send.update) send.update(next.vars);
+    for (size_t i = 0; i < participants.size(); ++i)
+      if (choice[i]->update) choice[i]->update(next.vars);
+
+    for (int c : send.clock_resets) next.zone.reset(c, 0);
+    for (size_t i = 0; i < participants.size(); ++i)
+      for (int c : choice[i]->clock_resets) next.zone.reset(c, 0);
+
+    next.locations[static_cast<size_t>(a)] = send.to;
+    for (size_t i = 0; i < participants.size(); ++i)
+      next.locations[static_cast<size_t>(participants[i].first)] =
+          choice[i]->to;
+
+    if (!finalize(next)) return false;
+
+    std::string action = send.label.empty()
+                             ? net_.automaton(a).name + ".broadcast"
+                             : send.label;
+    action += " ->" + std::to_string(participants.size()) + " receivers";
+    add_state(std::move(next), parent, std::move(action));
+    return true;
+  }
+
+  /// Time can diverge when no location is urgent/committed and no current
+  /// invariant bounds a clock from above.
+  [[nodiscard]] bool time_can_diverge(long index) const {
+    const SymbolicState& s = states_[static_cast<size_t>(index)].sym;
+    if (any_no_delay(s.locations)) return false;
+    for (int a = 0; a < net_.n_automata(); ++a) {
+      const Location& loc =
+          net_.automaton(a)
+              .locations[static_cast<size_t>(s.locations[static_cast<size_t>(a)])];
+      for (const ClockCond& inv : loc.invariant)
+        if (inv.rel == Rel::Le || inv.rel == Rel::Lt || inv.rel == Rel::Eq)
+          return false;
+    }
+    return true;
+  }
+
+  std::vector<TraceStep> build_trace(long index) const {
+    std::vector<TraceStep> trace;
+    for (long i = index; i >= 0; i = states_[static_cast<size_t>(i)].parent)
+      trace.push_back({states_[static_cast<size_t>(i)].action,
+                       states_[static_cast<size_t>(i)].sym});
+    std::reverse(trace.begin(), trace.end());
+    return trace;
+  }
+
+  const Network& net_;
+  const ZoneChecker::Options& options_;
+  std::vector<StoredState> states_;
+  std::vector<long> queue_;
+  std::unordered_map<DiscreteKey, std::vector<long>, DiscreteKeyHash> seen_;
+};
+
+}  // namespace
+
+ReachResult ZoneChecker::reachable(const Goal& goal,
+                                   const Options& options) const {
+  Explorer explorer(net_, options);
+  return explorer.run(goal);
+}
+
+ReachResult ZoneChecker::find_deadlock(const Options& options) const {
+  Explorer explorer(net_, options);
+  return explorer.run_deadlock();
+}
+
+}  // namespace ttdim::ta

@@ -1,0 +1,120 @@
+// Network of timed automata + zone-graph reachability checker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ta/automaton.h"
+#include "ta/dbm.h"
+
+namespace ttdim::ta {
+
+/// A network of timed automata with shared integer variables, binary
+/// channels and global clocks.
+class Network {
+ public:
+  /// Declare a clock; `max_constant` is the largest constant it is compared
+  /// against anywhere (used for extrapolation). Returns the clock id
+  /// (>= 1; 0 is the reference clock).
+  int add_clock(std::string name, int32_t max_constant);
+
+  /// Declare an integer variable with its initial value. Returns its index
+  /// in the VarStore.
+  int add_var(std::string name, int32_t initial);
+
+  /// Declare a binary synchronisation channel. Returns the channel id.
+  int add_channel(std::string name);
+
+  /// Declare a broadcast channel: a sender fires together with *every*
+  /// automaton that has an enabled receiving edge (receivers are optional;
+  /// the send never blocks). Returns the channel id.
+  int add_broadcast_channel(std::string name);
+
+  [[nodiscard]] bool is_broadcast(int channel) const;
+
+  /// Add an automaton (moved in). Returns its index.
+  int add_automaton(Automaton automaton);
+
+  /// Number of real clocks (the implicit reference clock excluded).
+  [[nodiscard]] int n_clocks() const noexcept {
+    return static_cast<int>(clock_names_.size()) - 1;
+  }
+  [[nodiscard]] int n_automata() const noexcept {
+    return static_cast<int>(automata_.size());
+  }
+  [[nodiscard]] const Automaton& automaton(int i) const;
+  [[nodiscard]] const std::string& clock_name(int id) const;
+  [[nodiscard]] const std::string& channel_name(int id) const;
+  [[nodiscard]] const VarStore& initial_vars() const noexcept {
+    return initial_vars_;
+  }
+  [[nodiscard]] const std::vector<int32_t>& max_constants() const noexcept {
+    return max_constants_;
+  }
+  /// Overwrite the extrapolation ceiling of one clock (rarely needed; the
+  /// checker asserts bounds stay within the declared ceiling).
+  void set_max_constant(int clock, int32_t value);
+
+ private:
+  std::vector<std::string> clock_names_{"t0"};
+  std::vector<int32_t> max_constants_{0};
+  std::vector<std::string> var_names_;
+  std::vector<std::string> channel_names_;
+  std::vector<bool> channel_broadcast_;
+  VarStore initial_vars_;
+  std::vector<Automaton> automata_;
+};
+
+/// Symbolic state of the zone graph.
+struct SymbolicState {
+  std::vector<int> locations;  ///< one per automaton
+  VarStore vars;
+  Dbm zone{0};
+};
+
+/// One step of a symbolic trace: the edge labels fired (two labels for a
+/// synchronisation) and the resulting state.
+struct TraceStep {
+  std::string action;
+  SymbolicState state;
+};
+
+/// Verdict of a reachability query.
+struct ReachResult {
+  bool reachable = false;
+  long states_explored = 0;
+  long states_stored = 0;
+  std::vector<TraceStep> trace;  ///< filled when reachable and requested
+};
+
+/// Zone-graph reachability: does some state satisfying `goal` exist?
+class ZoneChecker {
+ public:
+  using Goal = std::function<bool(const std::vector<int>& locations,
+                                  const VarStore& vars)>;
+
+  struct Options {
+    long max_states = 50'000'000;  ///< explosion guard; throws when hit
+    bool want_trace = true;
+
+    Options() {}
+  };
+
+  explicit ZoneChecker(const Network& network) : net_(network) {}
+
+  [[nodiscard]] ReachResult reachable(const Goal& goal,
+                                      const Options& options = {}) const;
+
+  /// Search for a reachable deadlock: a state with no discrete successor
+  /// whose locations forbid time divergence (an urgent/committed location,
+  /// or an invariant bounding some clock from above). `reachable == true`
+  /// means a deadlock exists and the trace leads to it.
+  [[nodiscard]] ReachResult find_deadlock(const Options& options = {}) const;
+
+ private:
+  const Network& net_;
+};
+
+}  // namespace ttdim::ta

@@ -1,0 +1,56 @@
+#include "verify/app_timing.h"
+
+#include <stdexcept>
+
+namespace ttdim::verify {
+
+void AppTiming::validate() const {
+  if (t_star_w < 0)
+    throw std::invalid_argument("AppTiming " + name + ": negative T*w");
+  const size_t want = static_cast<size_t>(t_star_w) + 1;
+  if (t_minus.size() != want || t_plus.size() != want)
+    throw std::invalid_argument("AppTiming " + name +
+                                ": dwell tables must have T*w + 1 entries");
+  for (size_t i = 0; i < want; ++i) {
+    if (t_minus[i] < 1)
+      throw std::invalid_argument("AppTiming " + name +
+                                  ": T-dw entries must be >= 1");
+    if (t_minus[i] > t_plus[i])
+      throw std::invalid_argument("AppTiming " + name + ": T-dw > T+dw");
+  }
+  if (min_interarrival <= t_star_w)
+    throw std::invalid_argument(
+        "AppTiming " + name +
+        ": min inter-arrival r must exceed the maximum wait T*w");
+  // The sporadic model of the paper has J <= J* < r, and a TT episode ends
+  // by Tw + T+dw(Tw) <= J: the slot episode must be over (and the loop
+  // back in steady state) before the next disturbance may arrive.
+  for (size_t w = 0; w < want; ++w) {
+    if (static_cast<int>(w) + t_plus[w] >= min_interarrival)
+      throw std::invalid_argument(
+          "AppTiming " + name +
+          ": wait + T+dw must stay below the min inter-arrival r");
+  }
+}
+
+AppTiming make_app_timing(const std::string& name,
+                          const switching::DwellTables& tables,
+                          int min_interarrival) {
+  if (!tables.feasible())
+    throw std::invalid_argument("make_app_timing(" + name +
+                                "): infeasible dwell tables");
+  AppTiming t;
+  t.name = name;
+  t.t_star_w = tables.t_star_w;
+  t.min_interarrival = min_interarrival;
+  t.t_minus.reserve(static_cast<size_t>(tables.t_star_w) + 1);
+  t.t_plus.reserve(static_cast<size_t>(tables.t_star_w) + 1);
+  for (int wait = 0; wait <= tables.t_star_w; ++wait) {
+    t.t_minus.push_back(tables.t_minus_at(wait));
+    t.t_plus.push_back(tables.t_plus_at(wait));
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace ttdim::verify

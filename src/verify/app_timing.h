@@ -1,0 +1,34 @@
+// Timing abstraction of one application, as consumed by the verification
+// layer (paper Sec. 4): the control dynamics are fully summarised by the
+// dwell tables T-dw[.], T+dw[.], the maximum wait T*w and the minimum
+// disturbance inter-arrival time r.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "switching/dwell.h"
+
+namespace ttdim::verify {
+
+/// Per-application timing parameters (all in samples).
+struct AppTiming {
+  std::string name;
+  int t_star_w = 0;            ///< maximum tolerable wait T*w
+  std::vector<int> t_minus;    ///< T-dw indexed by wait 0..T*w
+  std::vector<int> t_plus;     ///< T+dw indexed by wait 0..T*w
+  int min_interarrival = 0;    ///< r
+
+  /// Throws std::invalid_argument when the tables are malformed
+  /// (wrong arity, non-positive dwells, T-dw > T+dw, r too small).
+  void validate() const;
+};
+
+/// Expand dwell tables (possibly computed on a coarser Tw granularity)
+/// into a per-sample AppTiming. Lookups between grid points round up to
+/// the conservative entry, mirroring DwellTables::t_minus_at.
+[[nodiscard]] AppTiming make_app_timing(const std::string& name,
+                                        const switching::DwellTables& tables,
+                                        int min_interarrival);
+
+}  // namespace ttdim::verify

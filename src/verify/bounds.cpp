@@ -1,0 +1,31 @@
+#include "verify/bounds.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ttdim::verify {
+
+int max_coinciding_instances(const AppTiming& victim, const AppTiming& other) {
+  victim.validate();
+  other.validate();
+  int max_dwell = 0;
+  for (int v : victim.t_plus) max_dwell = std::max(max_dwell, v);
+  // Window during which interference can push the victim towards T*w.
+  const int window = victim.t_star_w + max_dwell;
+  // One pending instance plus one per started period of `other`.
+  return 1 + (window + other.min_interarrival - 1) / other.min_interarrival;
+}
+
+int suggested_instance_budget(const std::vector<AppTiming>& apps) {
+  TTDIM_EXPECTS(!apps.empty());
+  int budget = 1;
+  for (const AppTiming& victim : apps)
+    for (const AppTiming& other : apps) {
+      if (&victim == &other) continue;
+      budget = std::max(budget, max_coinciding_instances(victim, other));
+    }
+  return budget;
+}
+
+}  // namespace ttdim::verify

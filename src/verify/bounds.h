@@ -1,0 +1,27 @@
+// Disturbance-instance bounds (paper Sec. 5, "comments on verification
+// time"): "for each application, we can calculate the maximum number of
+// disturbance instances in other applications that can coincide with its
+// disturbance", which lets the model checker explore a bounded number of
+// instances without losing soundness for the deadline property.
+#pragma once
+
+#include <vector>
+
+#include "verify/app_timing.h"
+
+namespace ttdim::verify {
+
+/// For application i, the number of instances of application j that can
+/// interfere while i is in flight: i's critical window spans its wait
+/// budget plus its largest dwell (the slot time it may consume), and j can
+/// contribute one instance per started min-interarrival period plus the
+/// one already pending.
+[[nodiscard]] int max_coinciding_instances(const AppTiming& victim,
+                                           const AppTiming& other);
+
+/// A per-system budget that is safe to hand to the verifiers'
+/// `max_disturbances_per_app`: the largest pairwise coincidence count over
+/// all victim/other pairs (at least 1).
+[[nodiscard]] int suggested_instance_budget(const std::vector<AppTiming>& apps);
+
+}  // namespace ttdim::verify

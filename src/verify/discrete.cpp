@@ -1,0 +1,287 @@
+#include "verify/discrete.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace ttdim::verify {
+
+namespace {
+
+/// Application mode within the slot-sharing protocol.
+enum Loc : uint8_t { kSteady = 0, kWait = 1, kTt = 2, kSafe = 3 };
+
+/// Packed per-application state: mode, samples since the disturbance was
+/// seen, wait at grant time (TT only), disturbance count (bounded mode).
+struct AppState {
+  uint8_t loc = kSteady;
+  uint8_t elapsed = 0;
+  uint8_t wt_grant = 0;
+  uint8_t dist_count = 0;
+};
+
+using State = std::vector<AppState>;
+
+// Three bytes per application (mode and disturbance budget share a byte)
+// keep keys of <= 5 applications inside std::string's inline buffer, which
+// matters: the BFS stores millions of keys.
+std::string encode(const State& s) {
+  std::string key;
+  key.reserve(s.size() * 3);
+  for (const AppState& a : s) {
+    key.push_back(static_cast<char>(a.loc | (a.dist_count << 2)));
+    key.push_back(static_cast<char>(a.elapsed));
+    key.push_back(static_cast<char>(a.wt_grant));
+  }
+  return key;
+}
+
+State decode(const std::string& key, size_t napps) {
+  State s(napps);
+  for (size_t i = 0; i < napps; ++i) {
+    const auto packed = static_cast<uint8_t>(key[3 * i]);
+    s[i].loc = packed & 0x03;
+    s[i].dist_count = packed >> 2;
+    s[i].elapsed = static_cast<uint8_t>(key[3 * i + 1]);
+    s[i].wt_grant = static_cast<uint8_t>(key[3 * i + 2]);
+  }
+  return s;
+}
+
+}  // namespace
+
+DiscreteVerifier::DiscreteVerifier(std::vector<AppTiming> apps)
+    : apps_(std::move(apps)) {
+  TTDIM_EXPECTS(!apps_.empty());
+  for (const AppTiming& a : apps_) {
+    a.validate();
+    // The packed representation stores counters in bytes.
+    TTDIM_EXPECTS(a.min_interarrival < 250);
+    TTDIM_EXPECTS(a.t_star_w + a.t_plus[static_cast<size_t>(a.t_star_w)] <
+                  250);
+  }
+}
+
+SlotVerdict DiscreteVerifier::verify(const Options& options) const {
+  const size_t napps = apps_.size();
+  const bool bounded = options.max_disturbances_per_app >= 0;
+  // The packed key stores the budget in 6 bits.
+  TTDIM_EXPECTS(options.max_disturbances_per_app <= 62);
+
+  SlotVerdict verdict;
+  std::unordered_set<std::string> visited;
+  std::deque<std::string> queue;
+  // Parenthood for witness reconstruction: predecessor key, description,
+  // and the structured tick content.
+  struct Parenthood {
+    std::string from;
+    std::string action;
+    WitnessTick tick;
+  };
+  std::unordered_map<std::string, Parenthood> parent;
+
+  const State initial(napps);
+  const std::string init_key = encode(initial);
+  visited.insert(init_key);
+  queue.push_back(init_key);
+
+  auto emit = [&](const State& next, const std::string& from,
+                  const std::string& action, WitnessTick tick) {
+    std::string key = encode(next);
+    if (!visited.insert(key).second) return;
+    if (options.want_witness)
+      parent.emplace(key, Parenthood{from, action, std::move(tick)});
+    queue.push_back(std::move(key));
+  };
+
+  auto build_witness = [&](const std::string& leaf_key,
+                           const std::string& final_action) {
+    std::vector<std::string> steps{final_action};
+    std::string cur = leaf_key;
+    while (cur != init_key) {
+      const auto it = parent.find(cur);
+      if (it == parent.end()) break;
+      steps.push_back(it->second.action);
+      verdict.witness_ticks.push_back(it->second.tick);
+      cur = it->second.from;
+    }
+    steps.push_back("all applications steady");
+    std::reverse(steps.begin(), steps.end());
+    std::reverse(verdict.witness_ticks.begin(), verdict.witness_ticks.end());
+    return steps;
+  };
+
+  while (!queue.empty()) {
+    std::string cur_key;
+    if (options.depth_first) {
+      cur_key = std::move(queue.back());
+      queue.pop_back();
+    } else {
+      cur_key = std::move(queue.front());
+      queue.pop_front();
+    }
+    ++verdict.states_explored;
+    if (verdict.states_explored > options.max_states)
+      throw std::runtime_error("DiscreteVerifier: state budget exhausted");
+
+    State base = decode(cur_key, napps);
+
+    // ---- Phase 1: one sample elapses. -----------------------------------
+    std::string phase1_action;
+    bool error_now = false;
+    for (size_t i = 0; i < napps; ++i) {
+      AppState& a = base[i];
+      switch (a.loc) {
+        case kSteady:
+          break;
+        case kWait:
+          ++a.elapsed;
+          // Clock passed T*w while still waiting: the application automaton
+          // reaches Error (paper Fig. 5).
+          if (a.elapsed > apps_[i].t_star_w) {
+            error_now = true;
+            verdict.violator = static_cast<int>(i);
+            phase1_action = apps_[i].name + " exceeded T*w=" +
+                            std::to_string(apps_[i].t_star_w) +
+                            " while waiting";
+          }
+          break;
+        case kTt:
+          ++a.elapsed;
+          break;
+        case kSafe:
+          ++a.elapsed;
+          if (a.elapsed >= apps_[i].min_interarrival) {
+            a.loc = kSteady;
+            a.elapsed = 0;
+            a.wt_grant = 0;
+          }
+          break;
+      }
+    }
+    if (error_now) {
+      verdict.safe = false;
+      if (options.want_witness)
+        verdict.witness = build_witness(cur_key, phase1_action);
+      return verdict;
+    }
+
+    // ---- Phase 2: nondeterministic disturbance arrivals. ----------------
+    std::vector<size_t> steady;
+    for (size_t i = 0; i < napps; ++i) {
+      if (base[i].loc != kSteady) continue;
+      if (bounded &&
+          base[i].dist_count >=
+              static_cast<uint8_t>(options.max_disturbances_per_app))
+        continue;
+      steady.push_back(i);
+    }
+
+    const size_t subsets = size_t{1} << steady.size();
+    for (size_t mask = 0; mask < subsets; ++mask) {
+      State s = base;
+      std::string action = "tick";
+      WitnessTick tick;
+      for (size_t b = 0; b < steady.size(); ++b) {
+        if (!(mask & (size_t{1} << b))) continue;
+        AppState& a = s[steady[b]];
+        a.loc = kWait;
+        a.elapsed = 0;
+        if (bounded) ++a.dist_count;
+        action += " disturb(" + apps_[steady[b]].name + ")";
+        tick.disturbed.push_back(static_cast<int>(steady[b]));
+      }
+
+      // ---- Phase 3: slot occupant bookkeeping. --------------------------
+      int occupant = -1;
+      for (size_t i = 0; i < napps; ++i)
+        if (s[i].loc == kTt) {
+          TTDIM_CHECK(occupant < 0);  // single-slot invariant
+          occupant = static_cast<int>(i);
+        }
+      auto any_waiter = [&]() {
+        for (size_t i = 0; i < napps; ++i)
+          if (s[i].loc == kWait) return true;
+        return false;
+      };
+      auto leave_slot = [&](size_t i, const char* why) {
+        AppState& a = s[i];
+        if (a.elapsed >= apps_[i].min_interarrival) {
+          a.loc = kSteady;
+          a.elapsed = 0;
+        } else {
+          a.loc = kSafe;
+        }
+        a.wt_grant = 0;
+        action += std::string(" ") + why + "(" + apps_[i].name + ")";
+      };
+      if (occupant >= 0) {
+        const AppState& o = s[static_cast<size_t>(occupant)];
+        const int ct = o.elapsed - o.wt_grant;
+        const int dtm =
+            apps_[static_cast<size_t>(occupant)].t_minus[o.wt_grant];
+        const int dtp =
+            apps_[static_cast<size_t>(occupant)].t_plus[o.wt_grant];
+        TTDIM_CHECK(ct >= 0 && ct <= dtp);
+        if (ct == dtp) {
+          leave_slot(static_cast<size_t>(occupant), "evict");
+          occupant = -1;
+        } else if (ct >= dtm && any_waiter()) {
+          bool preempt = true;
+          if (options.policy == SlotPolicy::kSlackAware) {
+            std::vector<WaiterView> waiters;
+            for (size_t i = 0; i < napps; ++i)
+              if (s[i].loc == kWait)
+                waiters.push_back({static_cast<int>(i), s[i].elapsed});
+            preempt = !preemption_postponable(apps_, waiters, occupant);
+          }
+          if (preempt) {
+            leave_slot(static_cast<size_t>(occupant), "preempt");
+            occupant = -1;
+          }
+        }
+      }
+
+      // ---- Phase 4: grant (EDF on remaining deadline, ties explored). ---
+      if (occupant < 0) {
+        int best_remaining = INT32_MAX;
+        std::vector<size_t> candidates;
+        for (size_t i = 0; i < napps; ++i) {
+          if (s[i].loc != kWait) continue;
+          const int remaining = apps_[i].t_star_w - s[i].elapsed;
+          TTDIM_CHECK(remaining >= 0);
+          if (remaining < best_remaining) {
+            best_remaining = remaining;
+            candidates.assign(1, i);
+          } else if (remaining == best_remaining) {
+            candidates.push_back(i);
+          }
+        }
+        if (!candidates.empty()) {
+          for (size_t c : candidates) {
+            State granted = s;
+            granted[c].loc = kTt;
+            granted[c].wt_grant = granted[c].elapsed;
+            WitnessTick grant_tick = tick;
+            grant_tick.granted = static_cast<int>(c);
+            emit(granted, cur_key,
+                 action + " grant(" + apps_[c].name +
+                     ",Tw=" + std::to_string(granted[c].elapsed) + ")",
+                 std::move(grant_tick));
+          }
+          continue;  // grant branches cover this subset
+        }
+      }
+      emit(s, cur_key, action, std::move(tick));
+    }
+  }
+
+  verdict.safe = true;
+  return verdict;
+}
+
+}  // namespace ttdim::verify

@@ -1,0 +1,50 @@
+#include "verify/policy.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ttdim::verify {
+
+bool preemption_postponable(const std::vector<AppTiming>& apps,
+                            const std::vector<WaiterView>& waiters,
+                            int occupant) {
+  if (waiters.empty()) return true;
+  std::vector<WaiterView> ordered = waiters;
+  // Potential arrivals: every application that is neither waiting nor the
+  // occupant could request next sample with its full budget and jump the
+  // EDF queue; budget their dwell ahead of slower current waiters.
+  std::vector<bool> present(apps.size(), false);
+  for (const WaiterView& w : waiters)
+    present[static_cast<size_t>(w.app)] = true;
+  for (size_t i = 0; i < apps.size(); ++i)
+    if (!present[i] && static_cast<int>(i) != occupant)
+      ordered.push_back({static_cast<int>(i), 0});
+  // Every entry must tolerate the worst-case EDF service order: all
+  // entries with a strictly earlier remaining deadline go first, and —
+  // because equal deadlines are tie-broken nondeterministically — so does
+  // every equal-deadline peer. Each earlier grant occupies the slot for at
+  // least its minimum dwell; bound it by the table maximum (the wait at
+  // grant is not known exactly under postponement).
+  const auto remaining = [&](const WaiterView& w) {
+    return apps[static_cast<size_t>(w.app)].t_star_w - w.waited;
+  };
+  const auto max_t_minus = [&](const WaiterView& w) {
+    int m = 0;
+    for (int v : apps[static_cast<size_t>(w.app)].t_minus)
+      m = std::max(m, v);
+    return m;
+  };
+  for (const WaiterView& w : ordered) {
+    int queue_delay = 0;
+    for (const WaiterView& v : ordered) {
+      if (&v == &w) continue;
+      if (remaining(v) <= remaining(w)) queue_delay += max_t_minus(v);
+    }
+    const AppTiming& t = apps[static_cast<size_t>(w.app)];
+    if (w.waited + 1 + queue_delay > t.t_star_w) return false;
+  }
+  return true;
+}
+
+}  // namespace ttdim::verify

@@ -1,0 +1,51 @@
+// Slot arbitration policies.
+//
+// kPaper is the strategy verified in the paper: an occupant past its
+// minimum dwell T-dw is preempted the moment anyone waits.
+//
+// kSlackAware implements the paper's concluding remark ("in certain cases,
+// delaying the preemption might improve the performance of the current
+// occupant ... without degrading the performance of the waiting
+// applications"): preemption is postponed while every waiter provably
+// still makes its deadline, letting the occupant run closer to T+dw and
+// improve its settling time. The postponement test is conservative —
+// waiters are assumed to need their worst-case minimum dwell at grant —
+// so safety is preserved by construction and re-checked by the verifier
+// (DiscreteVerifier supports both policies; see tests/policy_test.cpp).
+#pragma once
+
+#include <vector>
+
+#include "verify/app_timing.h"
+
+namespace ttdim::verify {
+
+enum class SlotPolicy {
+  kPaper,       ///< preempt at T-dw whenever someone waits
+  kSlackAware,  ///< postpone preemption while all waiters keep slack
+};
+
+/// One waiting application as seen by the postponement test.
+struct WaiterView {
+  int app = 0;      ///< index into the timing vector
+  int waited = 0;   ///< samples waited so far (WT)
+};
+
+/// Conservative test: if the occupant stays one more sample, can every
+/// waiter still be granted by its T*w assuming each earlier (EDF-ordered)
+/// grant occupies the slot for its worst-case minimum dwell?
+///
+/// Soundness requires covering applications that have not requested yet:
+/// a later arrival with a tighter deadline jumps the EDF queue ahead of a
+/// current waiter, so every idle application (`occupant` excluded) is
+/// added as a *potential* waiter with zero elapsed wait. All (real and
+/// potential) waiters are examined in EDF order (ascending remaining
+/// deadline); the projected wait of the k-th entry is
+///   WT_k + 1 (postponement) + sum of max-T-dw of the k-1 earlier entries,
+/// and all projections must stay within the respective T*w. Re-evaluated
+/// every sample, this bounds each postponement step inductively.
+[[nodiscard]] bool preemption_postponable(
+    const std::vector<AppTiming>& apps,
+    const std::vector<WaiterView>& waiters, int occupant);
+
+}  // namespace ttdim::verify

@@ -1,0 +1,470 @@
+#include "verify/ta_model.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace ttdim::verify {
+
+namespace {
+
+using ta::Automaton;
+using ta::ClockCond;
+using ta::Edge;
+using ta::LocKind;
+using ta::Location;
+using ta::Rel;
+using ta::VarStore;
+
+/// Variable layout of the slot system model. All buffer manipulation
+/// happens in atomic updates, so the layout is private to the builder.
+struct Layout {
+  int napps = 0;
+  int wt0 = 0;     ///< WT[i] = wt0 + i
+  int dtm0 = 0;    ///< DT-[i]
+  int dtp0 = 0;    ///< DT+[i]
+  int dist0 = 0;   ///< remaining disturbance budget (bounded mode) per app
+  int run = 0;     ///< slot occupied flag
+  int occ = 0;     ///< occupant id
+  int reqid = 0;   ///< id carried by a reqTT! handshake
+  int inbuf0 = 0;  ///< per app: 1 once the request reached the sorted buffer
+  int len0 = 0;    ///< buffer0 length
+  int buf00 = 0;   ///< buffer0 entries
+  int len = 0;     ///< buffer length
+  int buf0 = 0;    ///< buffer entries
+
+  [[nodiscard]] int wt(int i) const { return wt0 + i; }
+  [[nodiscard]] int dtm(int i) const { return dtm0 + i; }
+  [[nodiscard]] int dtp(int i) const { return dtp0 + i; }
+  [[nodiscard]] int dist(int i) const { return dist0 + i; }
+  [[nodiscard]] int inbuf(int i) const { return inbuf0 + i; }
+  [[nodiscard]] int b0(int i) const { return buf00 + i; }
+  [[nodiscard]] int b(int i) const { return buf0 + i; }
+};
+
+/// App automaton location indices (paper Fig. 5).
+enum AppLoc : int {
+  kLocSteady = 0,
+  kLocWait = 1,
+  kLocTt = 2,
+  kLocSafe = 3,
+  kLocError = 4
+};
+
+/// Scheduler automaton location indices (paper Fig. 7; U* are the
+/// committed per-sample sequence).
+enum SchedLoc : int {
+  kLocW = 0,   // waiting for the next sample, invariant x <= 1
+  kLocU1 = 1,  // transfer buffer0 -> buffer (Policy/Sort, Fig. 6)
+  kLocU2 = 2,  // occupant bookkeeping: evict / preempt / stay
+  kLocU3 = 3,  // grant
+  kLocU4 = 4   // close the sample: reset x
+};
+
+}  // namespace
+
+ta::ZoneChecker::Goal SlotSystemModel::error_reachable_goal() const {
+  const std::vector<int> automata = app_automata;
+  const std::vector<int> errors = error_locations;
+  return [automata, errors](const std::vector<int>& locations,
+                            const VarStore&) {
+    for (size_t i = 0; i < automata.size(); ++i)
+      if (locations[static_cast<size_t>(automata[i])] == errors[i])
+        return true;
+    return false;
+  };
+}
+
+std::unique_ptr<SlotSystemModel> build_slot_system_model(
+    const std::vector<AppTiming>& apps, int max_disturbances_per_app) {
+  TTDIM_EXPECTS(!apps.empty());
+  for (const AppTiming& a : apps) a.validate();
+  const int napps = static_cast<int>(apps.size());
+
+  auto model = std::make_unique<SlotSystemModel>();
+  ta::Network& net = model->network;
+
+  // ---- Clocks. -----------------------------------------------------------
+  int max_dwell = 0;
+  for (const AppTiming& a : apps)
+    for (int v : a.t_plus) max_dwell = std::max(max_dwell, v);
+  const int x = net.add_clock("x", 1);
+  const int ct = net.add_clock("cT", max_dwell);
+  std::vector<int> time(static_cast<size_t>(napps));
+  for (int i = 0; i < napps; ++i)
+    time[static_cast<size_t>(i)] = net.add_clock(
+        "time_" + apps[static_cast<size_t>(i)].name,
+        apps[static_cast<size_t>(i)].min_interarrival);
+
+  // ---- Variables. --------------------------------------------------------
+  Layout lay;
+  lay.napps = napps;
+  lay.wt0 = net.add_var("WT_0", 0);
+  for (int i = 1; i < napps; ++i) net.add_var("WT_" + std::to_string(i), 0);
+  lay.dtm0 = net.add_var("DTm_0", 0);
+  for (int i = 1; i < napps; ++i) net.add_var("DTm_" + std::to_string(i), 0);
+  lay.dtp0 = net.add_var("DTp_0", 0);
+  for (int i = 1; i < napps; ++i) net.add_var("DTp_" + std::to_string(i), 0);
+  const int budget =
+      max_disturbances_per_app < 0 ? -1 : max_disturbances_per_app;
+  lay.dist0 = net.add_var("budget_0", budget);
+  for (int i = 1; i < napps; ++i)
+    net.add_var("budget_" + std::to_string(i), budget);
+  lay.run = net.add_var("run", 0);
+  lay.occ = net.add_var("occ", 0);
+  lay.reqid = net.add_var("reqid", 0);
+  lay.inbuf0 = net.add_var("inbuf_0", 0);
+  for (int i = 1; i < napps; ++i) net.add_var("inbuf_" + std::to_string(i), 0);
+  lay.len0 = net.add_var("len0", 0);
+  lay.buf00 = net.add_var("buffer0_0", -1);
+  for (int i = 1; i < napps; ++i)
+    net.add_var("buffer0_" + std::to_string(i), -1);
+  lay.len = net.add_var("len", 0);
+  lay.buf0 = net.add_var("buffer_0", -1);
+  for (int i = 1; i < napps; ++i)
+    net.add_var("buffer_" + std::to_string(i), -1);
+
+  // ---- Channels. ----------------------------------------------------------
+  const int req_tt = net.add_channel("reqTT");
+  std::vector<int> get_tt(static_cast<size_t>(napps));
+  std::vector<int> leave_tt(static_cast<size_t>(napps));
+  for (int i = 0; i < napps; ++i) {
+    get_tt[static_cast<size_t>(i)] =
+        net.add_channel("getTT_" + apps[static_cast<size_t>(i)].name);
+    leave_tt[static_cast<size_t>(i)] =
+        net.add_channel("leaveTT_" + apps[static_cast<size_t>(i)].name);
+  }
+
+  // ---- Application automata (Fig. 5). -------------------------------------
+  for (int i = 0; i < napps; ++i) {
+    const AppTiming& app = apps[static_cast<size_t>(i)];
+    Automaton a;
+    a.name = app.name;
+    a.locations.resize(5);
+    a.locations[kLocSteady] = {"Steady", LocKind::Normal, {}};
+    a.locations[kLocWait] = {"ET_Wait", LocKind::Normal, {}};
+    a.locations[kLocTt] = {"TT", LocKind::Normal, {}};
+    a.locations[kLocSafe] = {"ET_SAFE",
+                             LocKind::Normal,
+                             {{time[static_cast<size_t>(i)], Rel::Le,
+                               app.min_interarrival, nullptr}}};
+    a.locations[kLocError] = {"Error", LocKind::Normal, {}};
+
+    // Steady -> ET_Wait on a disturbance: announce the id over reqTT!.
+    Edge disturb;
+    disturb.from = kLocSteady;
+    disturb.to = kLocWait;
+    disturb.sync = {req_tt, true};
+    disturb.label = app.name + ".disturb";
+    disturb.clock_resets = {time[static_cast<size_t>(i)]};
+    const int dist_i = lay.dist(i);
+    const int reqid_var = lay.reqid;
+    disturb.data_guard = [dist_i](const VarStore& vars) {
+      return vars[dist_i] != 0;  // budget left (or unbounded == -1)
+    };
+    disturb.update = [dist_i, reqid_var, i](VarStore& vars) {
+      if (vars[dist_i] > 0) --vars[dist_i];
+      vars[reqid_var] = i;
+    };
+    a.edges.push_back(std::move(disturb));
+
+    // ET_Wait -> Error once the clock passes T*w. The wait budget starts
+    // when the scheduler transfers the request into the sorted buffer (the
+    // clock is reset there and WT counts from there; a request sent
+    // mid-sample is seen at the next tick, exactly like the discrete
+    // verifier's semantics).
+    Edge error;
+    error.from = kLocWait;
+    error.to = kLocError;
+    error.clock_guards.push_back(
+        {time[static_cast<size_t>(i)], Rel::Gt, app.t_star_w, nullptr});
+    {
+      const int inbuf_i = lay.inbuf(i);
+      error.data_guard = [inbuf_i](const VarStore& vars) {
+        return vars[inbuf_i] == 1;
+      };
+    }
+    error.label = app.name + ".error";
+    a.edges.push_back(std::move(error));
+
+    // ET_Wait -> TT on grant; look up the dwell window from WT (paper
+    // Fig. 5: "DT-[id]=minTT(), DT+[id]=maxTT()").
+    Edge grant;
+    grant.from = kLocWait;
+    grant.to = kLocTt;
+    grant.sync = {get_tt[static_cast<size_t>(i)], false};
+    grant.label = app.name + ".grant";
+    {
+      const int wt_i = lay.wt(i);
+      const int dtm_i = lay.dtm(i);
+      const int dtp_i = lay.dtp(i);
+      const std::vector<int> tmin = app.t_minus;
+      const std::vector<int> tplus = app.t_plus;
+      grant.update = [wt_i, dtm_i, dtp_i, tmin, tplus](VarStore& vars) {
+        const int w = std::clamp<int>(vars[wt_i], 0,
+                                      static_cast<int>(tmin.size()) - 1);
+        vars[dtm_i] = tmin[static_cast<size_t>(w)];
+        vars[dtp_i] = tplus[static_cast<size_t>(w)];
+      };
+    }
+    a.edges.push_back(std::move(grant));
+
+    // TT -> ET_SAFE when preempted / evicted by the scheduler.
+    Edge leave;
+    leave.from = kLocTt;
+    leave.to = kLocSafe;
+    leave.sync = {leave_tt[static_cast<size_t>(i)], false};
+    leave.label = app.name + ".leave";
+    a.edges.push_back(std::move(leave));
+
+    // ET_SAFE -> Steady once the minimum inter-arrival time has elapsed.
+    Edge calm;
+    calm.from = kLocSafe;
+    calm.to = kLocSteady;
+    calm.clock_guards.push_back({time[static_cast<size_t>(i)], Rel::Eq,
+                                 app.min_interarrival, nullptr});
+    calm.label = app.name + ".steady";
+    a.edges.push_back(std::move(calm));
+
+    model->app_automata.push_back(net.add_automaton(std::move(a)));
+    model->error_locations.push_back(kLocError);
+  }
+
+  // ---- Scheduler automaton (Fig. 7, with Fig. 6 folded into updates). ----
+  Automaton sched;
+  sched.name = "scheduler";
+  sched.locations.resize(5);
+  sched.locations[kLocW] = {"W", LocKind::Normal, {{x, Rel::Le, 1, nullptr}}};
+  sched.locations[kLocU1] = {"U1_transfer", LocKind::Committed, {}};
+  sched.locations[kLocU2] = {"U2_slot", LocKind::Committed, {}};
+  sched.locations[kLocU3] = {"U3_grant", LocKind::Committed, {}};
+  sched.locations[kLocU4] = {"U4_done", LocKind::Committed, {}};
+
+  // Asynchronous request registration (any time within the sample).
+  Edge reg;
+  reg.from = kLocW;
+  reg.to = kLocW;
+  reg.sync = {req_tt, false};
+  reg.label = "sched.register";
+  {
+    const Layout l = lay;
+    reg.update = [l](VarStore& vars) {
+      TTDIM_CHECK(vars[l.len0] < l.napps);
+      vars[l.b0(vars[l.len0])] = vars[l.reqid];
+      ++vars[l.len0];
+    };
+  }
+  sched.edges.push_back(std::move(reg));
+
+  // Sample boundary: x == 1 starts the committed sequence; WT++ for the
+  // applications already in the sorted buffer (paper: upd_WT()).
+  Edge tick;
+  tick.from = kLocW;
+  tick.to = kLocU1;
+  tick.clock_guards.push_back({x, Rel::Eq, 1, nullptr});
+  tick.label = "sched.tick";
+  {
+    const Layout l = lay;
+    std::vector<int> tstar(static_cast<size_t>(napps));
+    for (int i = 0; i < napps; ++i)
+      tstar[static_cast<size_t>(i)] = apps[static_cast<size_t>(i)].t_star_w;
+    tick.update = [l, tstar](VarStore& vars) {
+      for (int k = 0; k < vars[l.len]; ++k) {
+        const int id = vars[l.b(k)];
+        // Cap at T*w + 1: beyond that the app automaton's Error transition
+        // is enabled and dwell lookups are clamped anyway.
+        vars[l.wt(id)] =
+            std::min(vars[l.wt(id)] + 1, tstar[static_cast<size_t>(id)] + 1);
+      }
+    };
+  }
+  sched.edges.push_back(std::move(tick));
+
+  // U1: transfer one buffer0 entry at a time into the EDF-sorted buffer,
+  // resetting that application's clock and WT (paper Fig. 6). One edge per
+  // application id so the (static) clock reset can name the right clock.
+  for (int i = 0; i < napps; ++i) {
+    Edge move;
+    move.from = kLocU1;
+    move.to = kLocU1;
+    move.label = "sched.transfer_" + apps[static_cast<size_t>(i)].name;
+    move.clock_resets = {time[static_cast<size_t>(i)]};
+    const Layout l = lay;
+    std::vector<int> tstar(static_cast<size_t>(napps));
+    for (int k = 0; k < napps; ++k)
+      tstar[static_cast<size_t>(k)] = apps[static_cast<size_t>(k)].t_star_w;
+    move.data_guard = [l, i](const VarStore& vars) {
+      return vars[l.len0] > 0 && vars[l.b0(0)] == i;
+    };
+    move.update = [l, tstar, i](VarStore& vars) {
+      vars[l.inbuf(i)] = 1;
+      // Pop the head of buffer0.
+      for (int k = 1; k < vars[l.len0]; ++k) vars[l.b0(k - 1)] = vars[l.b0(k)];
+      vars[l.b0(vars[l.len0] - 1)] = -1;
+      --vars[l.len0];
+      vars[l.wt(i)] = 0;
+      // Sorted insert by remaining deadline T*w - WT (FIFO among equals).
+      const int remaining_new = tstar[static_cast<size_t>(i)];
+      int pos = 0;
+      while (pos < vars[l.len]) {
+        const int other = vars[l.b(pos)];
+        const int remaining_other =
+            tstar[static_cast<size_t>(other)] - vars[l.wt(other)];
+        if (remaining_other > remaining_new) break;
+        ++pos;
+      }
+      for (int k = vars[l.len]; k > pos; --k) vars[l.b(k)] = vars[l.b(k - 1)];
+      vars[l.b(pos)] = i;
+      ++vars[l.len];
+    };
+    sched.edges.push_back(std::move(move));
+  }
+  Edge transfer_done;
+  transfer_done.from = kLocU1;
+  transfer_done.to = kLocU2;
+  transfer_done.label = "sched.transfer_done";
+  {
+    const Layout l = lay;
+    transfer_done.data_guard = [l](const VarStore& vars) {
+      return vars[l.len0] == 0;
+    };
+  }
+  sched.edges.push_back(std::move(transfer_done));
+
+  // U2: occupant bookkeeping. One evict / preempt / stay family per id so
+  // clock bounds can reference that id's DT-/DT+ variables.
+  {
+    const Layout l = lay;
+    // Idle slot: straight to grant.
+    Edge idle;
+    idle.from = kLocU2;
+    idle.to = kLocU3;
+    idle.label = "sched.idle";
+    idle.data_guard = [l](const VarStore& vars) { return vars[l.run] == 0; };
+    sched.edges.push_back(std::move(idle));
+  }
+  for (int i = 0; i < napps; ++i) {
+    const Layout l = lay;
+    const auto occ_is_i = [l, i](const VarStore& vars) {
+      return vars[l.run] == 1 && vars[l.occ] == i;
+    };
+    const auto dtm_bound = [l, i](const VarStore& vars) {
+      return vars[l.dtm(i)];
+    };
+    const auto dtp_bound = [l, i](const VarStore& vars) {
+      return vars[l.dtp(i)];
+    };
+
+    Edge evict;
+    evict.from = kLocU2;
+    evict.to = kLocU3;
+    evict.sync = {leave_tt[static_cast<size_t>(i)], true};
+    evict.label = "sched.evict_" + apps[static_cast<size_t>(i)].name;
+    evict.data_guard = occ_is_i;
+    evict.clock_guards.push_back({ct, Rel::Eq, 0, dtp_bound});
+    evict.update = [l](VarStore& vars) { vars[l.run] = 0; };
+    sched.edges.push_back(std::move(evict));
+
+    Edge preempt;
+    preempt.from = kLocU2;
+    preempt.to = kLocU3;
+    preempt.sync = {leave_tt[static_cast<size_t>(i)], true};
+    preempt.label = "sched.preempt_" + apps[static_cast<size_t>(i)].name;
+    preempt.data_guard = [l, occ_is_i](const VarStore& vars) {
+      return occ_is_i(vars) && vars[l.len] > 0;
+    };
+    preempt.clock_guards.push_back({ct, Rel::Ge, 0, dtm_bound});
+    preempt.clock_guards.push_back({ct, Rel::Lt, 0, dtp_bound});
+    preempt.update = [l](VarStore& vars) { vars[l.run] = 0; };
+    sched.edges.push_back(std::move(preempt));
+
+    // Stay: below the non-preemptive window's end, or no waiter.
+    Edge stay_young;
+    stay_young.from = kLocU2;
+    stay_young.to = kLocU4;
+    stay_young.label = "sched.stay_" + apps[static_cast<size_t>(i)].name;
+    stay_young.data_guard = occ_is_i;
+    stay_young.clock_guards.push_back({ct, Rel::Lt, 0, dtm_bound});
+    sched.edges.push_back(std::move(stay_young));
+
+    Edge stay_alone;
+    stay_alone.from = kLocU2;
+    stay_alone.to = kLocU4;
+    stay_alone.label = "sched.hold_" + apps[static_cast<size_t>(i)].name;
+    stay_alone.data_guard = [l, occ_is_i](const VarStore& vars) {
+      return occ_is_i(vars) && vars[l.len] == 0;
+    };
+    stay_alone.clock_guards.push_back({ct, Rel::Ge, 0, dtm_bound});
+    stay_alone.clock_guards.push_back({ct, Rel::Lt, 0, dtp_bound});
+    sched.edges.push_back(std::move(stay_alone));
+  }
+
+  // U3: grant the buffer head (if any), else fall through.
+  for (int i = 0; i < napps; ++i) {
+    const Layout l = lay;
+    Edge grant;
+    grant.from = kLocU3;
+    grant.to = kLocU4;
+    grant.sync = {get_tt[static_cast<size_t>(i)], true};
+    grant.label = "sched.grant_" + apps[static_cast<size_t>(i)].name;
+    grant.clock_resets = {ct};
+    grant.data_guard = [l, i](const VarStore& vars) {
+      return vars[l.run] == 0 && vars[l.len] > 0 && vars[l.b(0)] == i;
+    };
+    grant.update = [l, i](VarStore& vars) {
+      for (int k = 1; k < vars[l.len]; ++k) vars[l.b(k - 1)] = vars[l.b(k)];
+      vars[l.b(vars[l.len] - 1)] = -1;
+      --vars[l.len];
+      vars[l.run] = 1;
+      vars[l.occ] = i;
+      vars[l.inbuf(i)] = 0;
+    };
+    sched.edges.push_back(std::move(grant));
+  }
+  {
+    const Layout l = lay;
+    Edge no_grant;
+    no_grant.from = kLocU3;
+    no_grant.to = kLocU4;
+    no_grant.label = "sched.no_grant";
+    no_grant.data_guard = [l](const VarStore& vars) {
+      return vars[l.run] == 1 || vars[l.len] == 0;
+    };
+    sched.edges.push_back(std::move(no_grant));
+  }
+
+  // U4: close the sample.
+  Edge close;
+  close.from = kLocU4;
+  close.to = kLocW;
+  close.clock_resets = {x};
+  close.label = "sched.close";
+  sched.edges.push_back(std::move(close));
+
+  net.add_automaton(std::move(sched));
+  return model;
+}
+
+ZoneVerifier::ZoneVerifier(std::vector<AppTiming> apps)
+    : apps_(std::move(apps)) {
+  TTDIM_EXPECTS(!apps_.empty());
+}
+
+SlotVerdict ZoneVerifier::verify(const Options& options) const {
+  const std::unique_ptr<SlotSystemModel> model =
+      build_slot_system_model(apps_, options.max_disturbances_per_app);
+  ta::ZoneChecker checker(model->network);
+  ta::ZoneChecker::Options zopt;
+  zopt.max_states = options.max_states;
+  zopt.want_trace = true;
+  const ta::ReachResult result =
+      checker.reachable(model->error_reachable_goal(), zopt);
+  SlotVerdict verdict;
+  verdict.safe = !result.reachable;
+  verdict.states_explored = result.states_explored;
+  for (const ta::TraceStep& step : result.trace)
+    verdict.witness.push_back(step.action);
+  return verdict;
+}
+
+}  // namespace ttdim::verify

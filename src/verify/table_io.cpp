@@ -1,0 +1,132 @@
+#include "verify/table_io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "switching/dwell.h"
+
+namespace ttdim::verify {
+
+namespace {
+
+void write_rle(std::ostream& os, const char* tag,
+               const std::vector<int>& values) {
+  os << tag;
+  for (const switching::RunLengthTable::Run& run : switching::RunLengthTable::encode(values).runs)
+    os << " " << run.length << " " << run.value;
+  os << "\n";
+}
+
+std::vector<int> read_rle(std::istringstream& line, const std::string& tag) {
+  switching::RunLengthTable table;
+  int length = 0;
+  int value = 0;
+  while (line >> length) {
+    if (!(line >> value))
+      throw std::invalid_argument("table_io: dangling run length in " + tag);
+    if (length <= 0)
+      throw std::invalid_argument("table_io: non-positive run length in " +
+                                  tag);
+    table.runs.push_back({length, value});
+  }
+  return table.decode();
+}
+
+std::string expect_line(std::istream& is, const std::string& keyword) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::string head;
+    ss >> head;
+    if (head != keyword)
+      throw std::invalid_argument("table_io: expected '" + keyword +
+                                  "', got '" + head + "'");
+    std::string rest;
+    std::getline(ss, rest);
+    return rest;
+  }
+  throw std::invalid_argument("table_io: unexpected end of input, wanted '" +
+                              keyword + "'");
+}
+
+}  // namespace
+
+void write_timing(std::ostream& os, const AppTiming& timing) {
+  timing.validate();
+  os << "app " << timing.name << "\n";
+  os << "r " << timing.min_interarrival << "\n";
+  os << "tstar " << timing.t_star_w << "\n";
+  write_rle(os, "tminus", timing.t_minus);
+  write_rle(os, "tplus", timing.t_plus);
+  os << "end\n";
+}
+
+std::string timing_to_string(const AppTiming& timing) {
+  std::ostringstream os;
+  write_timing(os, timing);
+  return os.str();
+}
+
+AppTiming read_timing(std::istream& is) {
+  AppTiming t;
+  {
+    std::istringstream ss(expect_line(is, "app"));
+    ss >> t.name;
+    if (t.name.empty())
+      throw std::invalid_argument("table_io: empty application name");
+  }
+  {
+    std::istringstream ss(expect_line(is, "r"));
+    if (!(ss >> t.min_interarrival))
+      throw std::invalid_argument("table_io: malformed r");
+  }
+  {
+    std::istringstream ss(expect_line(is, "tstar"));
+    if (!(ss >> t.t_star_w))
+      throw std::invalid_argument("table_io: malformed tstar");
+  }
+  {
+    std::istringstream ss(expect_line(is, "tminus"));
+    t.t_minus = read_rle(ss, "tminus");
+  }
+  {
+    std::istringstream ss(expect_line(is, "tplus"));
+    t.t_plus = read_rle(ss, "tplus");
+  }
+  static_cast<void>(expect_line(is, "end"));
+  t.validate();
+  return t;
+}
+
+AppTiming timing_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_timing(is);
+}
+
+void write_timings(std::ostream& os,
+                   const std::vector<AppTiming>& timings) {
+  for (const AppTiming& t : timings) write_timing(os, t);
+}
+
+std::vector<AppTiming> read_timings(std::istream& is) {
+  std::vector<AppTiming> out;
+  while (true) {
+    // Peek for another block.
+    std::streampos pos = is.tellg();
+    std::string line;
+    bool more = false;
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      more = true;
+      break;
+    }
+    if (!more) break;
+    is.clear();
+    is.seekg(pos);
+    out.push_back(read_timing(is));
+  }
+  return out;
+}
+
+}  // namespace ttdim::verify

@@ -1,0 +1,40 @@
+// Serialisation of the deployed timing tables.
+//
+// The dwell tables are computed offline (this library) and burned into the
+// ECU image; this header defines the interchange format: a line-oriented
+// text form that is trivially diffable in code review and parseable by the
+// target build. Round-trip fidelity is tested in tests/verify_test.cpp.
+//
+// Format (one application per block):
+//   app <name>
+//   r <int>
+//   tstar <int>
+//   tminus <run-length pairs: count value ...>
+//   tplus  <run-length pairs: count value ...>
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "verify/app_timing.h"
+
+namespace ttdim::verify {
+
+/// Serialise timing tables (run-length encoded, the ECU storage format the
+/// paper's Sec. 5 alludes to).
+void write_timing(std::ostream& os, const AppTiming& timing);
+[[nodiscard]] std::string timing_to_string(const AppTiming& timing);
+
+/// Parse one application block. Throws std::invalid_argument on malformed
+/// input; the parsed tables are re-validated.
+[[nodiscard]] AppTiming read_timing(std::istream& is);
+[[nodiscard]] AppTiming timing_from_string(const std::string& text);
+
+/// Whole-system convenience wrappers.
+void write_timings(std::ostream& os,
+                   const std::vector<AppTiming>& timings);
+[[nodiscard]] std::vector<AppTiming> read_timings(std::istream& is);
+
+}  // namespace ttdim::verify

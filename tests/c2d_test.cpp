@@ -1,0 +1,106 @@
+// Tests for the continuous-to-discrete conversion (expm / c2d).
+#include <cmath>
+
+#include "control/c2d.h"
+#include "gtest/gtest.h"
+#include "linalg/eig.h"
+#include "linalg/solve.h"
+
+namespace ttdim::control {
+namespace {
+
+TEST(Expm, ZeroMatrixGivesIdentity) {
+  EXPECT_TRUE(expm(Matrix(3, 3)).approx_equal(Matrix::identity(3), 1e-14));
+}
+
+TEST(Expm, DiagonalMatchesScalarExp) {
+  const Matrix a{{1.0, 0.0}, {0.0, -2.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-14);
+}
+
+TEST(Expm, NilpotentClosedForm) {
+  // exp([0 1; 0 0]) = [1 1; 0 1].
+  const Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+  const Matrix e = expm(a);
+  EXPECT_NEAR(e(0, 1), 1.0, 1e-14);
+  EXPECT_NEAR(e(0, 0), 1.0, 1e-14);
+  EXPECT_NEAR(e(1, 0), 0.0, 1e-14);
+}
+
+TEST(Expm, RotationMatrix) {
+  // exp([0 -w; w 0] t) is a rotation by w t.
+  const double w = 3.0;
+  const Matrix a{{0.0, -w}, {w, 0.0}};
+  const Matrix e = expm(a);  // t = 1
+  EXPECT_NEAR(e(0, 0), std::cos(w), 1e-11);
+  EXPECT_NEAR(e(1, 0), std::sin(w), 1e-11);
+}
+
+TEST(Expm, GroupProperty) {
+  // exp(A) exp(A) == exp(2A) — exercises the scaling-and-squaring path.
+  const Matrix a{{0.3, 1.2, -0.5}, {0.0, -0.7, 0.4}, {0.2, 0.1, 0.9}};
+  const Matrix lhs = expm(a) * expm(a);
+  const Matrix rhs = expm(a * 2.0);
+  EXPECT_TRUE(lhs.approx_equal(rhs, 1e-10));
+}
+
+TEST(C2d, FirstOrderLagClosedForm) {
+  // dx/dt = -a x + b u: phi = e^{-a h}, gamma = b (1 - e^{-a h}) / a.
+  const double a = 2.0;
+  const double b = 3.0;
+  const double h = 0.05;
+  const DiscreteLti d =
+      c2d({Matrix{{-a}}, Matrix{{b}}, Matrix{{1.0}}}, h);
+  EXPECT_NEAR(d.phi()(0, 0), std::exp(-a * h), 1e-12);
+  EXPECT_NEAR(d.gamma()(0, 0), b * (1.0 - std::exp(-a * h)) / a, 1e-12);
+  EXPECT_DOUBLE_EQ(d.h(), h);
+}
+
+TEST(C2d, DoubleIntegratorClosedForm) {
+  // phi = [1 h; 0 1], gamma = [h^2/2; h].
+  const double h = 0.1;
+  const ContinuousLti sys{Matrix{{0.0, 1.0}, {0.0, 0.0}},
+                          Matrix{{0.0}, {1.0}}, Matrix{{1.0, 0.0}}};
+  const DiscreteLti d = c2d(sys, h);
+  EXPECT_NEAR(d.phi()(0, 1), h, 1e-13);
+  EXPECT_NEAR(d.gamma()(0, 0), h * h / 2.0, 1e-13);
+  EXPECT_NEAR(d.gamma()(1, 0), h, 1e-13);
+}
+
+TEST(C2d, EigenvalueMapping) {
+  // Discretisation maps continuous eigenvalues s to e^{s h}.
+  const Matrix a{{-1.0, 2.0}, {0.0, -3.0}};
+  const double h = 0.02;
+  const DiscreteLti d = c2d({a, Matrix{{1.0}, {1.0}}, Matrix{{1.0, 0.0}}}, h);
+  auto ev = linalg::eigenvalues(d.phi());
+  std::sort(ev.begin(), ev.end(),
+            [](auto l, auto r) { return l.real() < r.real(); });
+  EXPECT_NEAR(ev[0].real(), std::exp(-3.0 * h), 1e-10);
+  EXPECT_NEAR(ev[1].real(), std::exp(-1.0 * h), 1e-10);
+}
+
+TEST(C2d, RejectsBadShapesAndPeriod) {
+  const ContinuousLti sys{Matrix{{0.0}}, Matrix{{1.0}}, Matrix{{1.0}}};
+  EXPECT_THROW(static_cast<void>(c2d(sys, 0.0)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(c2d({Matrix(2, 3), Matrix(2, 1),
+                                      Matrix(1, 2)},
+                                     0.01)),
+               std::logic_error);
+}
+
+TEST(C2d, DcMotorSpeedLoopSanity) {
+  // A plausible continuous DC-motor speed model discretised at the
+  // paper's h = 0.02 s behaves like the case-study C5-class plants:
+  // stable, controllable.
+  const ContinuousLti motor{Matrix{{-10.0, 1.0}, {-0.02, -2.0}},
+                            Matrix{{0.0}, {2.0}}, Matrix{{1.0, 0.0}}};
+  const DiscreteLti d = c2d(motor, 0.02);
+  EXPECT_TRUE(linalg::is_schur_stable(d.phi()));
+  EXPECT_LT((d.phi() - Matrix::identity(2)).max_abs(), 1.0);
+}
+
+}  // namespace
+}  // namespace ttdim::control

@@ -1,0 +1,74 @@
+// Data-integrity tests for the case-study module: shapes, Table 1
+// requirement columns, controllability and the documented C6 correction.
+#include "casestudy/apps.h"
+#include "control/design.h"
+#include "gtest/gtest.h"
+#include "linalg/eig.h"
+
+namespace ttdim::casestudy {
+namespace {
+
+TEST(CaseStudyData, SixApplicationsInPaperOrder) {
+  const std::vector<App> apps = all_apps();
+  ASSERT_EQ(apps.size(), 6u);
+  const char* names[] = {"C1", "C2", "C3", "C4", "C5", "C6"};
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(apps[i].name, names[i]);
+}
+
+TEST(CaseStudyData, Table1RequirementColumns) {
+  const std::vector<App> apps = all_apps();
+  const int r[] = {25, 100, 50, 40, 25, 100};
+  const int j_star[] = {18, 25, 20, 19, 18, 20};
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(apps[i].min_interarrival, r[i]) << apps[i].name;
+    EXPECT_EQ(apps[i].settling_requirement, j_star[i]) << apps[i].name;
+  }
+}
+
+TEST(CaseStudyData, GainShapesMatchPlants) {
+  for (const App& app : all_apps()) {
+    EXPECT_EQ(app.kt.rows(), 1) << app.name;
+    EXPECT_EQ(app.kt.cols(), app.plant.n_states()) << app.name;
+    EXPECT_EQ(app.ke.rows(), 1) << app.name;
+    EXPECT_EQ(app.ke.cols(), app.plant.n_states() + 1) << app.name;
+    EXPECT_DOUBLE_EQ(app.plant.h(), kSamplingPeriod) << app.name;
+    EXPECT_EQ(app.plant.n_inputs(), 1) << app.name;
+  }
+}
+
+TEST(CaseStudyData, StateDimensionsMatchTable1) {
+  const std::vector<App> apps = all_apps();
+  const linalg::Index dims[] = {3, 3, 2, 2, 2, 1};
+  for (size_t i = 0; i < 6; ++i)
+    EXPECT_EQ(apps[i].plant.n_states(), dims[i]) << apps[i].name;
+}
+
+TEST(CaseStudyData, AllPlantsControllable) {
+  for (const App& app : all_apps())
+    EXPECT_TRUE(control::is_controllable(app.plant)) << app.name;
+}
+
+TEST(CaseStudyData, C6SignCorrectionProducesStableLoop) {
+  // The documented correction (EXPERIMENTS.md): phi = +0.999 gives the
+  // stable closed loop 0.6991 that settles in the paper's JT = 11
+  // samples; the printed -0.999 would be unstable.
+  const App app = c6();
+  EXPECT_GT(app.plant.phi()(0, 0), 0.0);
+  const control::Matrix acl = control::closed_loop(app.plant, app.kt);
+  EXPECT_NEAR(acl(0, 0), 0.6991, 5e-4);
+  EXPECT_TRUE(linalg::is_schur_stable(acl));
+}
+
+TEST(CaseStudyData, MotivationalGainsDistinct) {
+  EXPECT_TRUE(ke_stable().approx_equal(c1().ke, 0.0));
+  EXPECT_FALSE(ke_stable().approx_equal(ke_unstable(), 1e-3));
+  EXPECT_EQ(ke_unstable().cols(), 4);
+}
+
+TEST(CaseStudyData, Eq6PlantMatchesC1) {
+  EXPECT_TRUE(
+      dc_motor_position_plant().phi().approx_equal(c1().plant.phi(), 0.0));
+}
+
+}  // namespace
+}  // namespace ttdim::casestudy

@@ -1,0 +1,186 @@
+// Tests for the FlexRay substrate: config validation, dynamic-segment
+// arbitration, worst-case response times, and the reconfigurable
+// middleware. The key property for the paper is that with a sanely sized
+// dynamic segment every control message has WCRT <= 1 cycle == 1 sample,
+// which is the one-sample-delay assumption behind mode ME (Eq. (4)).
+#include <stdexcept>
+
+#include "flexray/bus.h"
+#include "flexray/middleware.h"
+#include "gtest/gtest.h"
+
+namespace ttdim::flexray {
+namespace {
+
+/// A config in the spirit of FlexRay 2.1 at 10 Mbit/s with a 20 ms cycle
+/// matching the paper's h = 0.02 s sampling period.
+BusConfig paper_config() {
+  BusConfig c;
+  c.static_slot_us = 50.0;
+  c.static_slots = 60;     // 3 ms static segment
+  c.minislot_us = 5.0;
+  c.minislots = 3300;      // 16.5 ms dynamic segment
+  c.nit_us = 500.0;
+  return c;
+}
+
+std::vector<DynamicFrame> six_messages() {
+  return {{1, "C1", 4}, {2, "C2", 4}, {3, "C3", 4},
+          {4, "C4", 4}, {5, "C5", 4}, {6, "C6", 4}};
+}
+
+// ---------------------------------------------------------------- Config --
+
+TEST(BusConfigTest, PaperConfigIsValidAndCycleMatchesSamplingPeriod) {
+  const BusConfig c = paper_config();
+  EXPECT_NO_THROW(c.validate());
+  EXPECT_NEAR(c.cycle_us(), 20'000.0, 1e-9);  // h = 0.02 s
+}
+
+TEST(BusConfigTest, RejectsMalformedSegments) {
+  BusConfig c = paper_config();
+  c.static_slots = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = paper_config();
+  c.minislot_us = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = paper_config();
+  c.minislot_us = c.static_slot_us;  // psi must be << Psi
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = paper_config();
+  c.nit_us = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ WCRT --
+
+TEST(Wcrt, AllPaperMessagesFitInOneCycle) {
+  const auto wcrt = dynamic_wcrt_cycles(paper_config(), six_messages());
+  ASSERT_EQ(wcrt.size(), 6u);
+  for (const auto& w : wcrt) {
+    ASSERT_TRUE(w.has_value());
+    EXPECT_EQ(*w, 1);  // the ME one-sample-delay abstraction is justified
+  }
+}
+
+TEST(Wcrt, TightSegmentPushesLowPriorityToNextCycle) {
+  BusConfig c = paper_config();
+  c.minislots = 10;
+  const std::vector<DynamicFrame> frames{{1, "hp", 6}, {2, "lp", 6}};
+  const auto wcrt = dynamic_wcrt_cycles(c, frames);
+  ASSERT_TRUE(wcrt[0].has_value());
+  EXPECT_EQ(*wcrt[0], 1);
+  ASSERT_TRUE(wcrt[1].has_value());
+  EXPECT_EQ(*wcrt[1], 2);
+}
+
+TEST(Wcrt, OversizedFrameIsStarved) {
+  BusConfig c = paper_config();
+  c.minislots = 4;
+  const auto wcrt = dynamic_wcrt_cycles(c, {{1, "huge", 5}});
+  EXPECT_FALSE(wcrt[0].has_value());
+}
+
+TEST(Wcrt, DuplicateFrameIdsRejected) {
+  EXPECT_THROW(
+      dynamic_wcrt_cycles(paper_config(), {{1, "a", 1}, {1, "b", 1}}),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Simulator --
+
+TEST(DynamicSim, PriorityOrderWithinCycle) {
+  DynamicSegmentSimulator sim(paper_config(), six_messages());
+  sim.make_ready("C3");
+  sim.make_ready("C1");
+  const auto sent = sim.step_cycle();
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(sent[0].message, "C1");  // frame id 1 wins arbitration
+  EXPECT_EQ(sent[1].message, "C3");
+  EXPECT_LT(sent[0].end_us, sent[1].start_us + 1e-9);
+  EXPECT_FALSE(sim.is_pending("C1"));
+}
+
+TEST(DynamicSim, TransmissionTimingAccountsForIdleMinislots) {
+  DynamicSegmentSimulator sim(paper_config(), six_messages());
+  sim.make_ready("C2");
+  const auto sent = sim.step_cycle();
+  ASSERT_EQ(sent.size(), 1u);
+  // Frame id 1 is silent: one idle mini-slot elapses before C2.
+  const double dynamic_start = 50.0 * 60;
+  EXPECT_NEAR(sent[0].start_us, dynamic_start + 1 * 5.0, 1e-9);
+  EXPECT_NEAR(sent[0].end_us, dynamic_start + (1 + 4) * 5.0, 1e-9);
+}
+
+TEST(DynamicSim, DeferredFrameTransmitsNextCycle) {
+  BusConfig c = paper_config();
+  c.minislots = 10;
+  DynamicSegmentSimulator sim(c, {{1, "hp", 6}, {2, "lp", 6}});
+  sim.make_ready("hp");
+  sim.make_ready("lp");
+  const auto first = sim.step_cycle();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].message, "hp");
+  EXPECT_TRUE(sim.is_pending("lp"));
+  const auto second = sim.step_cycle();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].message, "lp");
+  EXPECT_EQ(second[0].cycle, 1);
+}
+
+TEST(DynamicSim, UnknownFrameRejected) {
+  DynamicSegmentSimulator sim(paper_config(), six_messages());
+  EXPECT_THROW(sim.make_ready("nope"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Middleware --
+
+TEST(MiddlewareTest, HandoverTakesEffectNextCycle) {
+  Middleware mw(paper_config(), {0, 1});
+  mw.grant(0, "C1");
+  EXPECT_FALSE(mw.owner_in_cycle(0, 0).has_value());  // not yet
+  mw.advance_cycle();
+  ASSERT_TRUE(mw.owner_in_cycle(0, 1).has_value());
+  EXPECT_EQ(*mw.owner_in_cycle(0, 1), "C1");
+}
+
+TEST(MiddlewareTest, DoubleGrantWithoutReleaseRejected) {
+  Middleware mw(paper_config(), {0});
+  mw.grant(0, "C1");
+  mw.advance_cycle();
+  EXPECT_THROW(mw.grant(0, "C2"), std::logic_error);
+  mw.release(0);
+  EXPECT_NO_THROW(mw.grant(0, "C2"));  // release + grant in the same window
+  mw.advance_cycle();
+  EXPECT_EQ(*mw.owner_in_cycle(0, 2), "C2");
+}
+
+TEST(MiddlewareTest, HistoryIsPerCycleAccurate) {
+  Middleware mw(paper_config(), {3});
+  mw.grant(3, "C5");
+  mw.advance_cycle();  // cycle 1: C5
+  mw.release(3);
+  mw.advance_cycle();  // cycle 2: idle
+  mw.grant(3, "C4");
+  mw.advance_cycle();  // cycle 3: C4
+  EXPECT_FALSE(mw.owner_in_cycle(3, 0).has_value());
+  EXPECT_EQ(*mw.owner_in_cycle(3, 1), "C5");
+  EXPECT_FALSE(mw.owner_in_cycle(3, 2).has_value());
+  EXPECT_EQ(*mw.owner_in_cycle(3, 3), "C4");
+}
+
+TEST(MiddlewareTest, UnmanagedSlotRejected) {
+  Middleware mw(paper_config(), {0});
+  EXPECT_THROW(mw.grant(5, "C1"), std::invalid_argument);
+  EXPECT_THROW(Middleware(paper_config(), {0, 0}), std::invalid_argument);
+  EXPECT_THROW(Middleware(paper_config(), {99}), std::logic_error);
+}
+
+TEST(MiddlewareTest, StaticSlotOffsetIsDeterministic) {
+  const Middleware mw(paper_config(), {0, 7});
+  EXPECT_NEAR(mw.static_slot_offset_us(7), 7 * 50.0, 1e-12);
+  EXPECT_NEAR(mw.static_slot_offset_us(0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ttdim::flexray

@@ -1,0 +1,181 @@
+// Tests for the slack-aware preemption-postponement extension (the
+// paper's Sec. 6 future-work idea): safety must be preserved, and the
+// occupant's settling performance must improve whenever postponement
+// actually kicks in.
+#include <random>
+
+#include "casestudy/apps.h"
+#include "gtest/gtest.h"
+#include "sched/slot_scheduler.h"
+#include "switching/dwell.h"
+#include "verify/discrete.h"
+#include "verify/policy.h"
+
+namespace ttdim {
+namespace {
+
+using sched::Scenario;
+using verify::AppTiming;
+using verify::DiscreteVerifier;
+using verify::SlotPolicy;
+using verify::WaiterView;
+
+AppTiming uniform_app(const std::string& name, int t_star, int t_minus,
+                      int t_plus, int r) {
+  AppTiming a;
+  a.name = name;
+  a.t_star_w = t_star;
+  a.t_minus.assign(static_cast<size_t>(t_star) + 1, t_minus);
+  a.t_plus.assign(static_cast<size_t>(t_star) + 1, t_plus);
+  a.min_interarrival = r;
+  return a;
+}
+
+AppTiming case_study_timing(const casestudy::App& app) {
+  switching::DwellAnalysisSpec spec;
+  spec.settling_requirement = app.settling_requirement;
+  spec.settling = control::SettlingSpec{casestudy::kSettlingTol, 3000};
+  const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+  return verify::make_app_timing(
+      app.name, switching::compute_dwell_tables(loop, spec),
+      app.min_interarrival);
+}
+
+// ------------------------------------------------------------ Unit level --
+
+TEST(PostponementTest, NoWaitersAlwaysPostponable) {
+  const std::vector<AppTiming> apps{uniform_app("A", 3, 1, 2, 10)};
+  EXPECT_TRUE(verify::preemption_postponable(apps, {}, 0));
+}
+
+TEST(PostponementTest, TightWaiterForbidsPostponement) {
+  const std::vector<AppTiming> apps{uniform_app("A", 3, 1, 2, 10),
+                                    uniform_app("B", 3, 1, 2, 10)};
+  // B already waited its full budget: one more sample breaks it.
+  EXPECT_FALSE(verify::preemption_postponable(apps, {WaiterView{1, 3}}, 0));
+  // With two samples of slack, postponement is fine.
+  EXPECT_TRUE(verify::preemption_postponable(apps, {WaiterView{1, 1}}, 0));
+}
+
+TEST(PostponementTest, QueueingDelayAccumulates) {
+  // Two waiters behind occupant A: the later one must absorb the earlier
+  // one's minimum dwell.
+  const std::vector<AppTiming> apps{uniform_app("A", 6, 3, 4, 16),
+                                    uniform_app("B", 6, 3, 4, 16),
+                                    uniform_app("C", 6, 3, 4, 16)};
+  // B waited 2, C waited 2: projections 3 and 3 + 3 = 6, both within 6.
+  EXPECT_TRUE(verify::preemption_postponable(
+      apps, {WaiterView{1, 2}, WaiterView{2, 2}}, 0));
+  // Both at 3: the second projection is 3 + 1 + 3 = 7 > 6.
+  EXPECT_FALSE(verify::preemption_postponable(
+      apps, {WaiterView{1, 3}, WaiterView{2, 3}}, 0));
+}
+
+TEST(PostponementTest, PotentialArrivalsAreBudgeted) {
+  // D is idle but could request next sample with a tight T*w = 2 and a
+  // heavy minimum dwell, jumping the EDF queue ahead of B: without the
+  // potential-arrival budget the postponement would be unsound.
+  const std::vector<AppTiming> relaxed{uniform_app("O", 6, 3, 4, 16),
+                                       uniform_app("B", 6, 3, 4, 16)};
+  EXPECT_TRUE(verify::preemption_postponable(relaxed, {WaiterView{1, 2}}, 0));
+  const std::vector<AppTiming> with_d{uniform_app("O", 6, 3, 4, 16),
+                                      uniform_app("B", 6, 3, 4, 16),
+                                      uniform_app("D", 2, 5, 6, 16)};
+  EXPECT_FALSE(verify::preemption_postponable(with_d, {WaiterView{1, 2}}, 0));
+  // The occupant itself is never counted as a potential arrival.
+  EXPECT_TRUE(verify::preemption_postponable(with_d, {WaiterView{1, 2}}, 2));
+}
+
+// ------------------------------------------------------- Verified safety --
+
+TEST(SlackAwarePolicy, CaseStudyPartitionsRemainSafe) {
+  const std::vector<AppTiming> s1{
+      case_study_timing(casestudy::c1()), case_study_timing(casestudy::c5()),
+      case_study_timing(casestudy::c4()), case_study_timing(casestudy::c3())};
+  const std::vector<AppTiming> s2{case_study_timing(casestudy::c6()),
+                                  case_study_timing(casestudy::c2())};
+  DiscreteVerifier::Options opt;
+  opt.policy = SlotPolicy::kSlackAware;
+  EXPECT_TRUE(DiscreteVerifier(s1).verify(opt).safe);
+  EXPECT_TRUE(DiscreteVerifier(s2).verify(opt).safe);
+}
+
+TEST(SlackAwarePolicy, RandomSystemsNeverLessSafeThanPaperPolicy) {
+  // The postponement test is conservative: whenever the paper policy is
+  // verified safe, the slack-aware policy must also be safe.
+  std::mt19937 rng(321);
+  int compared = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<AppTiming> apps;
+    const int n = 2 + static_cast<int>(rng() % 2);
+    for (int i = 0; i < n; ++i) {
+      const int t_star = static_cast<int>(rng() % 4);
+      const int t_minus = 1 + static_cast<int>(rng() % 3);
+      const int t_plus = t_minus + static_cast<int>(rng() % 3);
+      const int r = t_star + t_plus + 1 + static_cast<int>(rng() % 8);
+      apps.push_back(uniform_app("A" + std::to_string(i), t_star, t_minus,
+                                 t_plus, r));
+    }
+    const DiscreteVerifier verifier(apps);
+    if (!verifier.verify().safe) continue;
+    ++compared;
+    DiscreteVerifier::Options slack;
+    slack.policy = SlotPolicy::kSlackAware;
+    EXPECT_TRUE(verifier.verify(slack).safe) << "trial " << trial;
+  }
+  EXPECT_GT(compared, 1);
+}
+
+// ------------------------------------------------- Performance advantage --
+
+TEST(SlackAwarePolicy, OccupantDwellsLongerWhenSlackAllows) {
+  // A is granted first; B arrives early but with plenty of slack. Paper
+  // policy preempts A at T-dw = 2; the slack-aware policy lets A run
+  // further towards T+dw = 6.
+  const std::vector<AppTiming> apps{uniform_app("A", 8, 2, 6, 20),
+                                    uniform_app("B", 8, 2, 6, 20)};
+  Scenario sc;
+  sc.horizon = 40;
+  sc.disturbances = {{0}, {1}};
+  const sched::ScheduleResult paper =
+      sched::simulate_slot(apps, sc, SlotPolicy::kPaper);
+  const sched::ScheduleResult slack =
+      sched::simulate_slot(apps, sc, SlotPolicy::kSlackAware);
+  EXPECT_FALSE(paper.deadline_violated);
+  EXPECT_FALSE(slack.deadline_violated);
+  int paper_a = 0;
+  int slack_a = 0;
+  for (int t = 0; t < sc.horizon; ++t) {
+    paper_a += paper.tt_mask[0][static_cast<size_t>(t)] ? 1 : 0;
+    slack_a += slack.tt_mask[0][static_cast<size_t>(t)] ? 1 : 0;
+  }
+  EXPECT_GT(slack_a, paper_a);   // A kept the slot longer
+  EXPECT_LE(slack_a, 6);         // but never beyond T+dw
+}
+
+TEST(SlackAwarePolicy, SettlingImprovesOnCaseStudyScenario) {
+  // C1 granted at Tw = 0 with C5 disturbed 2 samples later: under the
+  // paper policy C1 leaves at T-dw(0) = 3; slack-aware lets it reach a
+  // longer dwell, and a longer dwell never worsens settling (Fig. 4).
+  const std::vector<AppTiming> apps{case_study_timing(casestudy::c1()),
+                                    case_study_timing(casestudy::c5())};
+  Scenario sc;
+  sc.horizon = 60;
+  sc.disturbances = {{0}, {2}};
+  const sched::ScheduleResult paper =
+      sched::simulate_slot(apps, sc, SlotPolicy::kPaper);
+  const sched::ScheduleResult slack =
+      sched::simulate_slot(apps, sc, SlotPolicy::kSlackAware);
+  EXPECT_FALSE(paper.deadline_violated);
+  EXPECT_FALSE(slack.deadline_violated);
+  int paper_c1 = 0;
+  int slack_c1 = 0;
+  for (int t = 0; t < sc.horizon; ++t) {
+    paper_c1 += paper.tt_mask[0][static_cast<size_t>(t)] ? 1 : 0;
+    slack_c1 += slack.tt_mask[0][static_cast<size_t>(t)] ? 1 : 0;
+  }
+  EXPECT_GE(slack_c1, paper_c1);
+}
+
+}  // namespace
+}  // namespace ttdim

@@ -1,0 +1,222 @@
+// Soundness bridge between the verifier and the runtime scheduler:
+//  - every counterexample found by the DiscreteVerifier, replayed on the
+//    runtime scheduler (same disturbances, same grant tie-breaks), must
+//    reproduce the deadline violation;
+//  - for configurations the verifier proves safe, randomized sporadic
+//    scenarios must never violate a deadline.
+// Together these pin the verifier and the scheduler to the same semantics.
+#include <random>
+
+#include "gtest/gtest.h"
+#include "sched/slot_scheduler.h"
+#include "verify/bounds.h"
+#include "verify/discrete.h"
+#include "verify/ta_model.h"
+
+namespace ttdim {
+namespace {
+
+using sched::Scenario;
+using verify::AppTiming;
+using verify::DiscreteVerifier;
+using verify::SlotVerdict;
+
+AppTiming uniform_app(const std::string& name, int t_star, int t_minus,
+                      int t_plus, int r) {
+  AppTiming a;
+  a.name = name;
+  a.t_star_w = t_star;
+  a.t_minus.assign(static_cast<size_t>(t_star) + 1, t_minus);
+  a.t_plus.assign(static_cast<size_t>(t_star) + 1, t_plus);
+  a.min_interarrival = r;
+  return a;
+}
+
+/// Translate a structured witness into a runtime scenario with forced
+/// grants.
+Scenario scenario_from_witness(const SlotVerdict& verdict, size_t napps) {
+  Scenario sc;
+  sc.horizon = static_cast<int>(verdict.witness_ticks.size()) + 2;
+  sc.disturbances.assign(napps, {});
+  sc.forced_grants.assign(static_cast<size_t>(sc.horizon), -1);
+  for (size_t t = 0; t < verdict.witness_ticks.size(); ++t) {
+    const verify::WitnessTick& tick = verdict.witness_ticks[t];
+    for (int app : tick.disturbed)
+      sc.disturbances[static_cast<size_t>(app)].push_back(static_cast<int>(t));
+    sc.forced_grants[t] = tick.granted;
+  }
+  return sc;
+}
+
+/// Generate a random (possibly unsafe) set of uniform applications.
+std::vector<AppTiming> random_apps(std::mt19937& rng) {
+  const int n = 2 + static_cast<int>(rng() % 2);  // 2..3 apps
+  std::vector<AppTiming> apps;
+  for (int i = 0; i < n; ++i) {
+    const int t_star = static_cast<int>(rng() % 4);            // 0..3
+    const int t_minus = 1 + static_cast<int>(rng() % 3);       // 1..3
+    const int t_plus = t_minus + static_cast<int>(rng() % 3);  // +0..2
+    // The sporadic model requires the TT episode (wait + dwell) to finish
+    // before the next disturbance: r > t_star + t_plus.
+    const int r = t_star + t_plus + 1 + static_cast<int>(rng() % 8);
+    apps.push_back(uniform_app("A" + std::to_string(i), t_star, t_minus,
+                               t_plus, r));
+  }
+  return apps;
+}
+
+class ReplayProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReplayProperty, WitnessReplaysToViolationAndSafeMeansSafe) {
+  std::mt19937 rng(GetParam());
+  int unsafe_seen = 0;
+  int safe_seen = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::vector<AppTiming> apps = random_apps(rng);
+    const DiscreteVerifier verifier(apps);
+    DiscreteVerifier::Options opt;
+    opt.want_witness = true;
+    const SlotVerdict verdict = verifier.verify(opt);
+    if (!verdict.safe) {
+      ++unsafe_seen;
+      ASSERT_FALSE(verdict.witness_ticks.empty());
+      const Scenario sc = scenario_from_witness(verdict, apps.size());
+      const sched::ScheduleResult run = sched::simulate_slot(apps, sc);
+      EXPECT_TRUE(run.deadline_violated)
+          << "witness failed to replay (seed " << GetParam() << " trial "
+          << trial << ")";
+      if (run.deadline_violated && verdict.violator >= 0)
+        EXPECT_EQ(run.violator, verdict.violator);
+    } else {
+      ++safe_seen;
+      // Randomized sporadic fuzzing must not find a violation.
+      for (int fuzz = 0; fuzz < 5; ++fuzz) {
+        Scenario sc;
+        sc.horizon = 80;
+        for (const AppTiming& app : apps) {
+          std::vector<int> d;
+          int t = static_cast<int>(rng() % 6);
+          while (t < sc.horizon) {
+            d.push_back(t);
+            t += app.min_interarrival + static_cast<int>(rng() % 5);
+          }
+          sc.disturbances.push_back(std::move(d));
+        }
+        const sched::ScheduleResult run = sched::simulate_slot(apps, sc);
+        EXPECT_FALSE(run.deadline_violated)
+            << "safe verdict contradicted (seed " << GetParam() << " trial "
+            << trial << ")";
+      }
+    }
+  }
+  // The generator straddles the safety boundary; both outcomes must occur
+  // over 30 trials or the property test is vacuous.
+  EXPECT_GT(unsafe_seen, 0);
+  EXPECT_GT(safe_seen, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+class EngineCrossCheck : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EngineCrossCheck, ZoneAgreesOnRandomSystems) {
+  // Random small systems: the zone-based TA model and the exact discrete
+  // engine must return identical verdicts (beyond the fixed cases in
+  // verify_test this sweeps the protocol's corner behaviours).
+  std::mt19937 rng(GetParam() + 1000);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<AppTiming> apps = random_apps(rng);
+    if (apps.size() > 2) apps.resize(2);  // keep the zone engine fast
+    const bool safe_discrete = DiscreteVerifier(apps).verify().safe;
+    const bool safe_zone = verify::ZoneVerifier(apps).verify().safe;
+    EXPECT_EQ(safe_discrete, safe_zone)
+        << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineCrossCheck,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ---------------------------------------------------------------- Bounds --
+
+TEST(Bounds, CoincidenceCountsAreSane) {
+  const AppTiming victim = uniform_app("V", 10, 2, 5, 30);
+  const AppTiming frequent = uniform_app("F", 2, 1, 2, 8);
+  const AppTiming rare = uniform_app("R", 2, 1, 2, 200);
+  // Window = 10 + 5 = 15: two instances of F (period 8) can land in it,
+  // plus the pending one.
+  EXPECT_EQ(verify::max_coinciding_instances(victim, frequent), 3);
+  EXPECT_EQ(verify::max_coinciding_instances(victim, rare), 2);
+}
+
+TEST(Bounds, SuggestedBudgetCoversAllPairs) {
+  const std::vector<AppTiming> apps{uniform_app("A", 10, 2, 5, 30),
+                                    uniform_app("B", 2, 1, 2, 8),
+                                    uniform_app("C", 1, 1, 1, 50)};
+  const int budget = verify::suggested_instance_budget(apps);
+  for (const AppTiming& v : apps)
+    for (const AppTiming& o : apps) {
+      if (&v == &o) continue;
+      EXPECT_GE(budget, verify::max_coinciding_instances(v, o));
+    }
+}
+
+TEST(Bounds, BudgetedVerdictMatchesUnboundedOnRandomSystems) {
+  // With the suggested budget the bounded model must agree with the
+  // unbounded one (the paper's acceleration is sound for the deadline
+  // property).
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::vector<AppTiming> apps = random_apps(rng);
+    const DiscreteVerifier verifier(apps);
+    DiscreteVerifier::Options bounded;
+    bounded.max_disturbances_per_app =
+        std::min(verify::suggested_instance_budget(apps), 10);
+    EXPECT_EQ(verifier.verify().safe, verifier.verify(bounded).safe)
+        << "trial " << trial;
+  }
+}
+
+// ----------------------------------------------------------- ForcedGrant --
+
+TEST(ForcedGrant, OverridesTieBreak) {
+  const std::vector<AppTiming> apps{uniform_app("A", 3, 1, 2, 12),
+                                    uniform_app("B", 3, 1, 2, 12)};
+  Scenario sc;
+  sc.horizon = 20;
+  sc.disturbances = {{0}, {0}};
+  sc.forced_grants.assign(20, -1);
+  sc.forced_grants[0] = 1;  // hand the tie to B instead of the default A
+  const sched::ScheduleResult run = sched::simulate_slot(apps, sc);
+  EXPECT_EQ(run.events[0].app, 1);
+  EXPECT_FALSE(run.deadline_violated);
+}
+
+TEST(ForcedGrant, NonWaitingAppRejected) {
+  const std::vector<AppTiming> apps{uniform_app("A", 3, 1, 2, 12),
+                                    uniform_app("B", 3, 1, 2, 12)};
+  Scenario sc;
+  sc.horizon = 20;
+  sc.disturbances = {{0}, {}};
+  sc.forced_grants.assign(20, -1);
+  sc.forced_grants[0] = 1;  // B never disturbed
+  EXPECT_THROW(static_cast<void>(sched::simulate_slot(apps, sc)),
+               std::invalid_argument);
+}
+
+TEST(ForcedGrant, OccupiedSlotRejected) {
+  const std::vector<AppTiming> apps{uniform_app("A", 3, 2, 4, 12),
+                                    uniform_app("B", 3, 2, 4, 12)};
+  Scenario sc;
+  sc.horizon = 20;
+  sc.disturbances = {{0}, {1}};
+  sc.forced_grants.assign(20, -1);
+  sc.forced_grants[0] = 0;
+  sc.forced_grants[1] = 1;  // A is non-preemptable until 2: slot occupied
+  EXPECT_THROW(static_cast<void>(sched::simulate_slot(apps, sc)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ttdim

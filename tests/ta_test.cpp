@@ -1,0 +1,467 @@
+// Tests for the DBM library and the zone-graph reachability checker.
+#include <stdexcept>
+
+#include "gtest/gtest.h"
+#include "ta/dbm.h"
+#include "ta/network.h"
+
+namespace ttdim::ta {
+namespace {
+
+// ------------------------------------------------------------------- Dbm --
+
+TEST(DbmBounds, EncodingRoundTrip) {
+  EXPECT_EQ(bound_value(bound_weak(5)), 5);
+  EXPECT_TRUE(bound_is_weak(bound_weak(5)));
+  EXPECT_EQ(bound_value(bound_strict(-3)), -3);
+  EXPECT_FALSE(bound_is_weak(bound_strict(-3)));
+  // Strict is tighter than weak at the same constant.
+  EXPECT_LT(bound_strict(4), bound_weak(4));
+  EXPECT_LT(bound_weak(3), bound_strict(4));
+}
+
+TEST(DbmBounds, SaturatingAdd) {
+  EXPECT_EQ(bound_add(bound_weak(2), bound_weak(3)), bound_weak(5));
+  EXPECT_EQ(bound_add(bound_weak(2), bound_strict(3)), bound_strict(5));
+  EXPECT_EQ(bound_add(kInfinity, bound_weak(1)), kInfinity);
+}
+
+TEST(Dbm, FreshZoneIsOrigin) {
+  const Dbm z(2);
+  EXPECT_FALSE(z.empty());
+  EXPECT_TRUE(z.contains_point({0, 0}));
+  EXPECT_FALSE(z.contains_point({1, 0}));
+}
+
+TEST(Dbm, UpOpensFuture) {
+  Dbm z(2);
+  z.up();
+  // Delay keeps clocks synchronised: both advance together.
+  EXPECT_TRUE(z.contains_point({5, 5}));
+  EXPECT_FALSE(z.contains_point({5, 4}));
+}
+
+TEST(Dbm, ConstrainWindow) {
+  Dbm z(1);
+  z.up();
+  EXPECT_TRUE(z.constrain(1, 0, bound_weak(10)));   // x <= 10
+  EXPECT_TRUE(z.constrain(0, 1, bound_weak(-3)));   // x >= 3
+  EXPECT_TRUE(z.contains_point({3}));
+  EXPECT_TRUE(z.contains_point({10}));
+  EXPECT_FALSE(z.contains_point({2}));
+  EXPECT_FALSE(z.contains_point({11}));
+}
+
+TEST(Dbm, ContradictionEmpties) {
+  Dbm z(1);
+  z.up();
+  EXPECT_TRUE(z.constrain(1, 0, bound_weak(5)));     // x <= 5
+  EXPECT_FALSE(z.constrain(0, 1, bound_strict(-5))); // x > 5 -> empty
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(Dbm, StrictVersusWeakBoundary) {
+  Dbm z(1);
+  z.up();
+  EXPECT_TRUE(z.constrain(1, 0, bound_strict(5)));  // x < 5
+  // x >= 5 contradicts x < 5 even at the shared constant.
+  EXPECT_FALSE(z.constrain(0, 1, bound_weak(-5)));
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(Dbm, ResetPinsClock) {
+  Dbm z(2);
+  z.up();
+  z.constrain(1, 0, bound_weak(7));
+  z.constrain(0, 1, bound_weak(-7));  // x1 == 7
+  z.reset(2, 0);                      // x2 := 0 while x1 == 7
+  EXPECT_TRUE(z.contains_point({7, 0}));
+  EXPECT_FALSE(z.contains_point({7, 7}));
+  // Difference is remembered through later delay.
+  z.up();
+  EXPECT_TRUE(z.contains_point({9, 2}));
+  EXPECT_FALSE(z.contains_point({9, 3}));
+}
+
+TEST(Dbm, ResetToValue) {
+  Dbm z(1);
+  z.up();
+  z.reset(1, 4);
+  EXPECT_TRUE(z.contains_point({4}));
+  EXPECT_FALSE(z.contains_point({0}));
+}
+
+TEST(Dbm, AssignClockCopiesValuation) {
+  Dbm z(2);
+  z.up();
+  z.constrain(1, 0, bound_weak(3));
+  z.constrain(0, 1, bound_weak(-3));  // x1 == 3
+  z.assign_clock(2, 1);               // x2 := x1
+  EXPECT_TRUE(z.contains_point({3, 3}));
+  EXPECT_FALSE(z.contains_point({3, 0}));
+}
+
+TEST(Dbm, InclusionReflexiveAndStrict) {
+  Dbm small(1);
+  small.up();
+  small.constrain(1, 0, bound_weak(5));
+  Dbm big(1);
+  big.up();
+  EXPECT_TRUE(small.included_in(small));
+  EXPECT_TRUE(small.included_in(big));
+  EXPECT_FALSE(big.included_in(small));
+}
+
+TEST(Dbm, ExtrapolationAbstractsLargeBounds) {
+  Dbm z(1);
+  z.up();
+  z.constrain(0, 1, bound_weak(-50));  // x >= 50
+  z.constrain(1, 0, bound_weak(60));   // x <= 60
+  z.extrapolate({0, 10});              // max constant for x is 10
+  // Above the ceiling the zone must look like "x > 10 ... unbounded".
+  EXPECT_TRUE(z.contains_point({100}));
+  EXPECT_TRUE(z.contains_point({11}));
+  EXPECT_FALSE(z.contains_point({10}));
+}
+
+TEST(Dbm, HashDiscriminates) {
+  Dbm a(1);
+  Dbm b(1);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.up();
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_FALSE(a == b);
+}
+
+// --------------------------------------------------------------- Network --
+
+/// One automaton, one clock: location A (inv x <= 2) --[x >= 1]--> B.
+Network simple_net() {
+  Network net;
+  const int x = net.add_clock("x", 3);
+  Automaton a;
+  a.name = "proc";
+  a.locations.push_back({"A", LocKind::Normal, {{x, Rel::Le, 2, nullptr}}});
+  a.locations.push_back({"B", LocKind::Normal, {}});
+  Edge e;
+  e.from = 0;
+  e.to = 1;
+  e.clock_guards.push_back({x, Rel::Ge, 1, nullptr});
+  e.label = "go";
+  a.edges.push_back(e);
+  net.add_automaton(std::move(a));
+  return net;
+}
+
+TEST(Zone, SimpleReachability) {
+  const Network net = simple_net();
+  const ZoneChecker checker(net);
+  const ReachResult hit = checker.reachable(
+      [](const std::vector<int>& locs, const VarStore&) {
+        return locs[0] == 1;
+      });
+  EXPECT_TRUE(hit.reachable);
+  ASSERT_GE(hit.trace.size(), 2u);
+  EXPECT_EQ(hit.trace.back().action, "go");
+}
+
+TEST(Zone, GuardBlocksUnreachable) {
+  Network net;
+  const int x = net.add_clock("x", 5);
+  Automaton a;
+  a.name = "proc";
+  // Invariant x <= 2 but edge needs x >= 4: never enabled.
+  a.locations.push_back({"A", LocKind::Normal, {{x, Rel::Le, 2, nullptr}}});
+  a.locations.push_back({"B", LocKind::Normal, {}});
+  Edge e;
+  e.from = 0;
+  e.to = 1;
+  e.clock_guards.push_back({x, Rel::Ge, 4, nullptr});
+  a.edges.push_back(e);
+  net.add_automaton(std::move(a));
+  const ReachResult r = ZoneChecker(net).reachable(
+      [](const std::vector<int>& locs, const VarStore&) {
+        return locs[0] == 1;
+      });
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST(Zone, VariableGuardAndUpdate) {
+  Network net;
+  net.add_clock("x", 1);
+  const int v = net.add_var("v", 0);
+  Automaton a;
+  a.name = "counter";
+  a.locations.push_back({"L", LocKind::Normal, {}});
+  Edge inc;
+  inc.from = 0;
+  inc.to = 0;
+  inc.data_guard = [v](const VarStore& vars) { return vars[v] < 3; };
+  inc.update = [v](VarStore& vars) { ++vars[v]; };
+  inc.label = "inc";
+  a.edges.push_back(inc);
+  net.add_automaton(std::move(a));
+  const ReachResult r3 = ZoneChecker(net).reachable(
+      [v](const std::vector<int>&, const VarStore& vars) {
+        return vars[v] == 3;
+      });
+  EXPECT_TRUE(r3.reachable);
+  const ReachResult r4 = ZoneChecker(net).reachable(
+      [v](const std::vector<int>&, const VarStore& vars) {
+        return vars[v] == 4;
+      });
+  EXPECT_FALSE(r4.reachable);
+}
+
+TEST(Zone, BinarySynchronisation) {
+  Network net;
+  net.add_clock("x", 1);
+  const int c = net.add_channel("go");
+  const int flag = net.add_var("flag", 0);
+
+  Automaton sender;
+  sender.name = "sender";
+  sender.locations.push_back({"S0", LocKind::Normal, {}});
+  sender.locations.push_back({"S1", LocKind::Normal, {}});
+  Edge se;
+  se.from = 0;
+  se.to = 1;
+  se.sync = {c, true};
+  se.update = [flag](VarStore& vars) { vars[flag] += 1; };  // sender first
+  se.label = "snd";
+  sender.edges.push_back(se);
+
+  Automaton receiver;
+  receiver.name = "receiver";
+  receiver.locations.push_back({"R0", LocKind::Normal, {}});
+  receiver.locations.push_back({"R1", LocKind::Normal, {}});
+  Edge re;
+  re.from = 0;
+  re.to = 1;
+  re.sync = {c, false};
+  re.update = [flag](VarStore& vars) { vars[flag] *= 10; };  // then receiver
+  re.label = "rcv";
+  receiver.edges.push_back(re);
+
+  net.add_automaton(std::move(sender));
+  net.add_automaton(std::move(receiver));
+
+  // Both must move together, and the update order is sender-then-receiver:
+  // flag = (0+1)*10 = 10.
+  const ReachResult r = ZoneChecker(net).reachable(
+      [flag](const std::vector<int>& locs, const VarStore& vars) {
+        return locs[0] == 1 && locs[1] == 1 && vars[flag] == 10;
+      });
+  EXPECT_TRUE(r.reachable);
+  // Sender cannot advance alone.
+  const ReachResult lone = ZoneChecker(net).reachable(
+      [](const std::vector<int>& locs, const VarStore&) {
+        return locs[0] == 1 && locs[1] == 0;
+      });
+  EXPECT_FALSE(lone.reachable);
+}
+
+TEST(Zone, CommittedLocationsAreAtomic) {
+  // P: A -> (committed C) -> B with variable writes in both hops; Q can
+  // tick freely. Q must not observe the intermediate committed state.
+  Network net;
+  net.add_clock("x", 1);
+  const int v = net.add_var("v", 0);
+  const int seen = net.add_var("seen", 0);
+
+  Automaton p;
+  p.name = "P";
+  p.locations.push_back({"A", LocKind::Normal, {}});
+  p.locations.push_back({"C", LocKind::Committed, {}});
+  p.locations.push_back({"B", LocKind::Normal, {}});
+  Edge a_to_c;
+  a_to_c.from = 0;
+  a_to_c.to = 1;
+  a_to_c.update = [v](VarStore& vars) { vars[v] = 1; };
+  Edge c_to_b;
+  c_to_b.from = 1;
+  c_to_b.to = 2;
+  c_to_b.update = [v](VarStore& vars) { vars[v] = 2; };
+  p.edges.push_back(a_to_c);
+  p.edges.push_back(c_to_b);
+
+  Automaton q;
+  q.name = "Q";
+  q.locations.push_back({"L", LocKind::Normal, {}});
+  Edge observe;
+  observe.from = 0;
+  observe.to = 0;
+  observe.data_guard = [v](const VarStore& vars) { return vars[v] == 1; };
+  observe.update = [seen](VarStore& vars) { vars[seen] = 1; };
+  q.edges.push_back(observe);
+
+  net.add_automaton(std::move(p));
+  net.add_automaton(std::move(q));
+
+  const ReachResult r = ZoneChecker(net).reachable(
+      [seen](const std::vector<int>&, const VarStore& vars) {
+        return vars[seen] == 1;
+      });
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST(Zone, UrgentLocationBlocksDelay) {
+  // A -(x >= 1)-> U(urgent) -> B with guard x >= 2 out of U: stuck.
+  Network net;
+  const int x = net.add_clock("x", 3);
+  Automaton a;
+  a.name = "proc";
+  a.locations.push_back({"A", LocKind::Normal, {}});
+  a.locations.push_back({"U", LocKind::Urgent, {}});
+  a.locations.push_back({"B", LocKind::Normal, {}});
+  Edge e1;
+  e1.from = 0;
+  e1.to = 1;
+  e1.clock_guards.push_back({x, Rel::Eq, 1, nullptr});
+  Edge e2;
+  e2.from = 1;
+  e2.to = 2;
+  e2.clock_guards.push_back({x, Rel::Ge, 2, nullptr});
+  a.edges.push_back(e1);
+  a.edges.push_back(e2);
+  net.add_automaton(std::move(a));
+  const ReachResult r = ZoneChecker(net).reachable(
+      [](const std::vector<int>& locs, const VarStore&) {
+        return locs[0] == 2;
+      });
+  EXPECT_FALSE(r.reachable);
+}
+
+TEST(Zone, VariableDependentClockBound) {
+  // Guard x >= v where v is raised by a discrete self-loop. With v = 2 the
+  // goal location is reachable only after 2 time units; verify the bound
+  // function is consulted.
+  Network net;
+  const int x = net.add_clock("x", 4);
+  const int v = net.add_var("v", 2);
+  Automaton a;
+  a.name = "proc";
+  a.locations.push_back({"A", LocKind::Normal,
+                         {{x, Rel::Le, 0, [v](const VarStore& vars) {
+                             return vars[v];
+                           }}}});
+  a.locations.push_back({"B", LocKind::Normal, {}});
+  Edge e;
+  e.from = 0;
+  e.to = 1;
+  e.clock_guards.push_back({x, Rel::Ge, 0, [v](const VarStore& vars) {
+                              return vars[v];
+                            }});
+  a.edges.push_back(e);
+  net.add_automaton(std::move(a));
+  const ReachResult r = ZoneChecker(net).reachable(
+      [](const std::vector<int>& locs, const VarStore&) {
+        return locs[0] == 1;
+      });
+  EXPECT_TRUE(r.reachable);
+}
+
+TEST(Zone, PeriodicTickTerminatesViaExtrapolation) {
+  // A single periodic ticker (x <= 1, tick at x == 1, reset) with an
+  // unbounded tick counter would blow up without extrapolation of the
+  // clock; bound the counter modulo 4 and check all phases are reached in
+  // finitely many stored states.
+  Network net;
+  const int x = net.add_clock("x", 1);
+  const int n = net.add_var("n", 0);
+  Automaton t;
+  t.name = "ticker";
+  t.locations.push_back({"L", LocKind::Normal, {{x, Rel::Le, 1, nullptr}}});
+  Edge tick;
+  tick.from = 0;
+  tick.to = 0;
+  tick.clock_guards.push_back({x, Rel::Eq, 1, nullptr});
+  tick.clock_resets.push_back(x);
+  tick.update = [n](VarStore& vars) { vars[n] = (vars[n] + 1) % 4; };
+  t.edges.push_back(tick);
+  net.add_automaton(std::move(t));
+
+  ZoneChecker::Options opt;
+  opt.max_states = 1000;  // must terminate well under this
+  const ReachResult r = ZoneChecker(net).reachable(
+      [n](const std::vector<int>&, const VarStore& vars) {
+        return vars[n] == 3;
+      },
+      opt);
+  EXPECT_TRUE(r.reachable);
+  const ReachResult all = ZoneChecker(net).reachable(
+      [](const std::vector<int>&, const VarStore&) { return false; }, opt);
+  EXPECT_FALSE(all.reachable);
+  EXPECT_LT(all.states_stored, 20);
+}
+
+TEST(Zone, StateBudgetEnforced) {
+  Network net;
+  net.add_clock("x", 1);
+  const int n = net.add_var("n", 0);
+  Automaton a;
+  a.name = "count";
+  a.locations.push_back({"L", LocKind::Normal, {}});
+  Edge inc;
+  inc.from = 0;
+  inc.to = 0;
+  inc.update = [n](VarStore& vars) { ++vars[n]; };  // unbounded
+  a.edges.push_back(inc);
+  net.add_automaton(std::move(a));
+  ZoneChecker::Options opt;
+  opt.max_states = 100;
+  EXPECT_THROW(ZoneChecker(net).reachable(
+                   [](const std::vector<int>&, const VarStore&) {
+                     return false;
+                   },
+                   opt),
+               std::runtime_error);
+}
+
+TEST(Zone, MalformedAutomatonRejected) {
+  Network net;
+  net.add_clock("x", 1);
+  Automaton a;
+  a.name = "bad";
+  a.locations.push_back({"L", LocKind::Normal, {}});
+  Edge e;
+  e.from = 0;
+  e.to = 7;  // dangling target
+  a.edges.push_back(e);
+  EXPECT_THROW(net.add_automaton(std::move(a)), std::logic_error);
+}
+
+TEST(Zone, TraceReconstructionOrdersActions) {
+  Network net;
+  net.add_clock("x", 1);
+  const int v = net.add_var("v", 0);
+  Automaton a;
+  a.name = "seq";
+  a.locations.push_back({"L0", LocKind::Normal, {}});
+  a.locations.push_back({"L1", LocKind::Normal, {}});
+  a.locations.push_back({"L2", LocKind::Normal, {}});
+  Edge e1;
+  e1.from = 0;
+  e1.to = 1;
+  e1.label = "first";
+  e1.update = [v](VarStore& vars) { vars[v] = 1; };
+  Edge e2;
+  e2.from = 1;
+  e2.to = 2;
+  e2.label = "second";
+  a.edges.push_back(e1);
+  a.edges.push_back(e2);
+  net.add_automaton(std::move(a));
+  const ReachResult r = ZoneChecker(net).reachable(
+      [](const std::vector<int>& locs, const VarStore&) {
+        return locs[0] == 2;
+      });
+  ASSERT_TRUE(r.reachable);
+  ASSERT_EQ(r.trace.size(), 3u);
+  EXPECT_EQ(r.trace[0].action, "init");
+  EXPECT_EQ(r.trace[1].action, "first");
+  EXPECT_EQ(r.trace[2].action, "second");
+}
+
+}  // namespace
+}  // namespace ttdim::ta

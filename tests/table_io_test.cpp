@@ -1,0 +1,105 @@
+// Round-trip and robustness tests for the ECU timing-table interchange
+// format.
+#include <sstream>
+
+#include "casestudy/apps.h"
+#include "gtest/gtest.h"
+#include "switching/dwell.h"
+#include "verify/discrete.h"
+#include "verify/table_io.h"
+
+namespace ttdim::verify {
+namespace {
+
+AppTiming sample_timing() {
+  AppTiming t;
+  t.name = "C1";
+  t.t_star_w = 11;
+  t.t_minus = {3, 4, 3, 3, 3, 3, 3, 3, 3, 4, 4, 5};
+  t.t_plus = {6, 6, 5, 5, 5, 6, 5, 5, 4, 4, 5, 5};
+  t.min_interarrival = 25;
+  return t;
+}
+
+AppTiming case_study_timing(const casestudy::App& app) {
+  switching::DwellAnalysisSpec spec;
+  spec.settling_requirement = app.settling_requirement;
+  spec.settling = control::SettlingSpec{casestudy::kSettlingTol, 3000};
+  const control::SwitchedLoop loop(app.plant, app.kt, app.ke);
+  return make_app_timing(app.name, switching::compute_dwell_tables(loop, spec),
+                         app.min_interarrival);
+}
+
+TEST(TableIo, RoundTripSingle) {
+  const AppTiming original = sample_timing();
+  const AppTiming parsed = timing_from_string(timing_to_string(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.t_star_w, original.t_star_w);
+  EXPECT_EQ(parsed.min_interarrival, original.min_interarrival);
+  EXPECT_EQ(parsed.t_minus, original.t_minus);
+  EXPECT_EQ(parsed.t_plus, original.t_plus);
+}
+
+TEST(TableIo, RoundTripAllCaseStudyApps) {
+  std::vector<AppTiming> originals;
+  for (const casestudy::App& app : casestudy::all_apps())
+    originals.push_back(case_study_timing(app));
+  std::ostringstream os;
+  write_timings(os, originals);
+  std::istringstream is(os.str());
+  const std::vector<AppTiming> parsed = read_timings(is);
+  ASSERT_EQ(parsed.size(), originals.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].name, originals[i].name);
+    EXPECT_EQ(parsed[i].t_minus, originals[i].t_minus);
+    EXPECT_EQ(parsed[i].t_plus, originals[i].t_plus);
+  }
+}
+
+TEST(TableIo, FormatIsRunLengthEncoded) {
+  // C3's T-dw is nearly constant: the serialised form must be much
+  // shorter than one word per entry.
+  AppTiming t = sample_timing();
+  t.t_minus.assign(12, 4);
+  t.t_plus.assign(12, 6);
+  const std::string text = timing_to_string(t);
+  EXPECT_NE(text.find("tminus 12 4"), std::string::npos);
+  EXPECT_NE(text.find("tplus 12 6"), std::string::npos);
+}
+
+TEST(TableIo, MalformedInputsRejected) {
+  EXPECT_THROW(static_cast<void>(timing_from_string("")),
+               std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(timing_from_string("nonsense 1\n")),
+               std::invalid_argument);
+  // Dangling run length.
+  EXPECT_THROW(static_cast<void>(timing_from_string(
+                   "app A\nr 9\ntstar 1\ntminus 2\ntplus 2 1\nend\n")),
+               std::invalid_argument);
+  // Truncated block.
+  EXPECT_THROW(static_cast<void>(timing_from_string(
+                   "app A\nr 9\ntstar 1\ntminus 2 1\n")),
+               std::invalid_argument);
+  // Tables inconsistent with tstar (validate() fires).
+  EXPECT_THROW(static_cast<void>(timing_from_string(
+                   "app A\nr 9\ntstar 3\ntminus 2 1\ntplus 2 1\nend\n")),
+               std::invalid_argument);
+  // Non-positive run length.
+  EXPECT_THROW(static_cast<void>(timing_from_string(
+                   "app A\nr 9\ntstar 1\ntminus 0 1\ntplus 2 1\nend\n")),
+               std::invalid_argument);
+}
+
+TEST(TableIo, ParsedTablesDriveTheVerifier) {
+  // End-to-end: serialise the S2 pair, parse it back, verify safety.
+  std::ostringstream os;
+  write_timing(os, case_study_timing(casestudy::c6()));
+  write_timing(os, case_study_timing(casestudy::c2()));
+  std::istringstream is(os.str());
+  const std::vector<AppTiming> parsed = read_timings(is);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_TRUE(DiscreteVerifier(parsed).verify().safe);
+}
+
+}  // namespace
+}  // namespace ttdim::verify
