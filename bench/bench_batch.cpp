@@ -1,0 +1,104 @@
+// Batch-dimensioning throughput: many independent systems dimensioned
+// concurrently by engine::BatchRunner. The report runs a 32-system batch
+// at 1/2/4/8 threads, checks the results are byte-identical across thread
+// counts (determinism is the contract that makes the parallelism free),
+// and prints the wall-clock speedup. Speedup is bounded by the machine's
+// core count — on an N-core box expect ~min(threads, N)x, near-linear
+// until the cores run out.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/batch_runner.h"
+#include "engine/fingerprint.h"
+
+namespace {
+
+using namespace ttdim;
+
+std::vector<engine::BatchJob> make_batch(int systems) {
+  // Heterogeneous single-app systems derived from the paper's cruise
+  // controller: the inter-arrival sweep changes each system's timing
+  // abstraction (and therefore its fingerprint) without exploding the
+  // per-system analysis cost.
+  std::vector<engine::BatchJob> jobs;
+  const casestudy::App base = casestudy::c6();
+  for (int i = 0; i < systems; ++i) {
+    engine::BatchJob job;
+    core::AppSpec spec{base.name + "_" + std::to_string(i), base.plant,
+                       base.kt, base.ke, 40 + 5 * (i % 16),
+                       base.settling_requirement};
+    job.specs = {spec};
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::string batch_fingerprint(const std::vector<engine::BatchOutcome>& out) {
+  std::string fp;
+  for (const engine::BatchOutcome& o : out)
+    fp += o.ok() ? engine::fingerprint(*o.solution) : ("error: " + o.error);
+  return fp;
+}
+
+void report() {
+  constexpr int kSystems = 32;
+  std::printf("==== batch dimensioning: %d independent systems ====\n",
+              kSystems);
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+  const std::vector<engine::BatchJob> jobs = make_batch(kSystems);
+
+  double serial_seconds = 0.0;
+  std::string serial_fp;
+  bool all_identical = true;
+  std::printf("%8s %12s %9s  %s\n", "threads", "wall [s]", "speedup",
+              "results");
+  for (int threads : {1, 2, 4, 8}) {
+    const engine::BatchRunner runner(threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<engine::BatchOutcome> out = runner.solve_all(jobs);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const std::string fp = batch_fingerprint(out);
+    if (threads == 1) {
+      serial_seconds = seconds;
+      serial_fp = fp;
+    }
+    const bool identical = fp == serial_fp;
+    all_identical = all_identical && identical;
+    std::printf("%8d %12.2f %8.2fx  %s\n", threads, seconds,
+                serial_seconds / seconds,
+                identical ? "identical to 1-thread" : "MISMATCH");
+  }
+  std::printf("\nresults across thread counts: %s\n\n",
+              all_identical ? "byte-identical" : "MISMATCH (bug!)");
+  // CI runs this report as a determinism gate; a mismatch must fail the
+  // process, not just print.
+  if (!all_identical) std::exit(1);
+}
+
+void BM_BatchSolve(benchmark::State& state) {
+  const std::vector<engine::BatchJob> jobs =
+      make_batch(static_cast<int>(state.range(1)));
+  const engine::BatchRunner runner(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.solve_all(jobs));
+  }
+}
+BENCHMARK(BM_BatchSolve)
+    ->Args({1, 8})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

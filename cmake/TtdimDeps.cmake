@@ -1,0 +1,42 @@
+# Third-party dependency resolution for ttdim.
+#
+# GoogleTest: prefer the system package; fall back to FetchContent so the
+# build still works on machines without libgtest-dev. The fallback is only
+# attempted when tests are enabled.
+#
+# google-benchmark: optional. When absent the bench/ binaries are skipped
+# (they are measurement tools, not part of the verify gate).
+
+include_guard(GLOBAL)
+
+function(ttdim_resolve_gtest)
+  find_package(GTest QUIET)
+  if(GTest_FOUND)
+    message(STATUS "ttdim: using system GoogleTest")
+    return()
+  endif()
+  message(STATUS "ttdim: system GoogleTest not found, fetching v1.14.0")
+  include(FetchContent)
+  FetchContent_Declare(
+    googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  # Match the parent project's runtime on MSVC; harmless elsewhere.
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+endfunction()
+
+function(ttdim_resolve_benchmark out_found)
+  find_package(benchmark QUIET)
+  if(benchmark_FOUND)
+    message(STATUS "ttdim: using system google-benchmark")
+    set(${out_found} TRUE PARENT_SCOPE)
+  else()
+    message(STATUS "ttdim: google-benchmark not found; bench/ targets skipped")
+    set(${out_found} FALSE PARENT_SCOPE)
+  endif()
+endfunction()

@@ -1,0 +1,30 @@
+# Target helpers: one call per test / bench / example keeps the root
+# CMakeLists declarative and guarantees every binary gets the same warning
+# set and links the ttdim library.
+
+include_guard(GLOBAL)
+include(GoogleTest)
+
+function(ttdim_add_test source)
+  get_filename_component(name "${source}" NAME_WE)
+  add_executable(${name} "${source}")
+  target_link_libraries(${name} PRIVATE ttdim GTest::gtest_main)
+  # gtest_discover_tests would register each TEST() separately but runs the
+  # binary at build time; add_test keeps configure cheap and gives exactly
+  # one CTest entry per suite file, which is what the verify gate counts.
+  add_test(NAME ${name} COMMAND ${name})
+  set_tests_properties(${name} PROPERTIES TIMEOUT 600)
+endfunction()
+
+function(ttdim_add_bench source)
+  get_filename_component(name "${source}" NAME_WE)
+  add_executable(${name} "${source}")
+  target_link_libraries(${name} PRIVATE ttdim benchmark::benchmark)
+endfunction()
+
+function(ttdim_add_example source)
+  get_filename_component(name "${source}" NAME_WE)
+  add_executable(example_${name} "${source}")
+  target_link_libraries(example_${name} PRIVATE ttdim)
+  set_target_properties(example_${name} PROPERTIES OUTPUT_NAME ${name})
+endfunction()

@@ -1,0 +1,59 @@
+// Parallel batch dimensioning: run many independent end-to-end
+// dimensioning problems (core::solve) concurrently. The pipeline per
+// system is untouched and single-threaded; parallelism comes only from
+// the embarrassing independence between systems, so results are
+// bit-identical to the serial loop — workers self-schedule ("steal") the
+// next unclaimed job index from a shared atomic cursor, and every result
+// is written to its job's slot, preserving input order regardless of
+// completion order.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dimensioning.h"
+
+namespace ttdim::engine {
+
+/// One independent dimensioning problem.
+struct BatchJob {
+  std::vector<core::AppSpec> specs;
+  core::SolveOptions options;
+};
+
+/// Result slot for one job: either a full solution or the solve error
+/// (e.g. an unmeetable requirement) — a failing job must not poison the
+/// rest of the batch.
+struct BatchOutcome {
+  std::optional<core::Solution> solution;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return solution.has_value(); }
+};
+
+class BatchRunner {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency(); threads == 1
+  /// runs everything on the calling thread (the determinism baseline).
+  explicit BatchRunner(int threads = 0);
+
+  [[nodiscard]] int thread_count() const { return threads_; }
+
+  /// Dimension every job; outcome i corresponds to jobs[i].
+  [[nodiscard]] std::vector<BatchOutcome> solve_all(
+      const std::vector<BatchJob>& jobs) const;
+
+  /// The underlying deterministic parallel-for: fn(i) for i in [0, n),
+  /// each index claimed exactly once. fn runs concurrently on up to
+  /// thread_count() threads and must only write state owned by index i.
+  /// The first exception escaping fn is rethrown on the calling thread
+  /// after all workers drain.
+  void for_each_index(int n, const std::function<void(int)>& fn) const;
+
+ private:
+  int threads_;
+};
+
+}  // namespace ttdim::engine

@@ -1,0 +1,39 @@
+#include "engine/fingerprint.h"
+
+#include <sstream>
+
+#include "verify/table_io.h"
+
+namespace ttdim::engine {
+
+namespace {
+
+void write_assignment(std::ostream& os, const char* label,
+                      const mapping::SlotAssignment& assignment) {
+  os << label << ' ' << assignment.slot_count() << '\n';
+  for (const std::vector<int>& slot : assignment.slots) {
+    os << " ";
+    for (int app : slot) os << ' ' << app;
+    os << '\n';
+  }
+}
+
+}  // namespace
+
+std::string fingerprint(const core::Solution& solution) {
+  std::ostringstream os;
+  for (const core::AppSolution& app : solution.apps) {
+    verify::write_timing(os, app.timing);
+    os << "jt " << app.tables.settling_tt << " je " << app.tables.settling_et
+       << '\n';
+    os << "stable tt " << app.stability.tt_stable << " et "
+       << app.stability.et_stable << " cqlf " << app.stability.common_lyapunov
+       << " degfree " << app.stability.degradation_free << '\n';
+  }
+  write_assignment(os, "proposed", solution.proposed);
+  write_assignment(os, "baseline_np", solution.baseline_np);
+  write_assignment(os, "baseline_delayed", solution.baseline_delayed);
+  return os.str();
+}
+
+}  // namespace ttdim::engine

@@ -1,0 +1,17 @@
+// Canonical text form of a dimensioning result, for determinism checks
+// and golden regression tests: two Solutions are "the same" exactly when
+// their fingerprints are byte-identical. Everything that downstream
+// deployment consumes is covered (timing tables via the ECU interchange
+// format, JT/JE, stability verdict, all three slot assignments); floats
+// never appear, so the string is stable across platforms.
+#pragma once
+
+#include <string>
+
+#include "core/dimensioning.h"
+
+namespace ttdim::engine {
+
+[[nodiscard]] std::string fingerprint(const core::Solution& solution);
+
+}  // namespace ttdim::engine

@@ -1,0 +1,125 @@
+#include "engine/scenario_generator.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+#include "verify/bounds.h"
+
+namespace ttdim::engine {
+
+ScenarioGenerator::ScenarioGenerator(std::vector<verify::AppTiming> apps,
+                                     std::uint64_t seed)
+    : apps_(std::move(apps)), rng_(seed) {
+  TTDIM_EXPECTS(!apps_.empty());
+  for (const verify::AppTiming& app : apps_) app.validate();
+}
+
+int ScenarioGenerator::tail_room() const {
+  int room = 1;
+  for (const verify::AppTiming& app : apps_)
+    room = std::max(room, app.t_star_w + verify::max_dwell(app) + 1);
+  return room;
+}
+
+sched::Scenario ScenarioGenerator::finalize(
+    std::vector<std::vector<int>> disturbances) const {
+  int last = 0;
+  for (const std::vector<int>& d : disturbances)
+    if (!d.empty()) last = std::max(last, d.back());
+  sched::Scenario scenario;
+  scenario.disturbances = std::move(disturbances);
+  scenario.horizon = last + tail_room();
+  return scenario;
+}
+
+sched::Scenario ScenarioGenerator::burst(int instances_per_app) {
+  TTDIM_EXPECTS(instances_per_app >= 1);
+  int max_r = 0;
+  for (const verify::AppTiming& app : apps_)
+    max_r = std::max(max_r, app.min_interarrival);
+  std::vector<std::vector<int>> d(apps_.size());
+  for (std::size_t i = 0; i < apps_.size(); ++i)
+    for (int k = 0; k < instances_per_app; ++k)
+      d[i].push_back(k * max_r);
+  return finalize(std::move(d));
+}
+
+sched::Scenario ScenarioGenerator::staggered(int offset,
+                                             int instances_per_app) {
+  TTDIM_EXPECTS(offset >= 0);
+  TTDIM_EXPECTS(instances_per_app >= 1);
+  std::vector<std::vector<int>> d(apps_.size());
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const int start = static_cast<int>(i) * offset;
+    for (int k = 0; k < instances_per_app; ++k)
+      d[i].push_back(start + k * apps_[i].min_interarrival);
+  }
+  return finalize(std::move(d));
+}
+
+sched::Scenario ScenarioGenerator::worst_case_coincidence(int victim) {
+  TTDIM_EXPECTS(victim >= 0 && victim < app_count());
+  const verify::AppTiming& v = apps_[static_cast<std::size_t>(victim)];
+  const int window = v.t_star_w + verify::max_dwell(v);
+  // The pending instance of app j arrives at d + 1 - r_j, which must be a
+  // valid tick, so the victim's disturbance is pushed past every r_j.
+  int d0 = 0;
+  for (const verify::AppTiming& app : apps_)
+    d0 = std::max(d0, app.min_interarrival - 1);
+  std::vector<std::vector<int>> d(apps_.size());
+  d[static_cast<std::size_t>(victim)].push_back(d0);
+  for (std::size_t j = 0; j < apps_.size(); ++j) {
+    if (static_cast<int>(j) == victim) continue;
+    const int r = apps_[j].min_interarrival;
+    // One instance pending just before the victim's arrival, then one per
+    // started period inside (d0, d0 + window]: together these realise
+    // 1 + ceil(window / r) = verify::max_coinciding_instances.
+    for (int t = d0 + 1 - r; t <= d0 + window; t += r) d[j].push_back(t);
+  }
+  sched::Scenario scenario = finalize(std::move(d));
+  return scenario;
+}
+
+sched::Scenario ScenarioGenerator::random(int instances_per_app, int jitter) {
+  TTDIM_EXPECTS(instances_per_app >= 1);
+  TTDIM_EXPECTS(jitter >= 0);
+  std::vector<std::vector<int>> d(apps_.size());
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const int r = apps_[i].min_interarrival;
+    std::uniform_int_distribution<int> start_dist(0, std::max(0, r - 1));
+    std::uniform_int_distribution<int> gap_dist(r, r + jitter);
+    int t = start_dist(rng_);
+    for (int k = 0; k < instances_per_app; ++k) {
+      d[i].push_back(t);
+      t += gap_dist(rng_);
+    }
+  }
+  return finalize(std::move(d));
+}
+
+sched::Scenario ScenarioGenerator::make(ScenarioKind kind,
+                                        int instances_per_app) {
+  switch (kind) {
+    case ScenarioKind::kBurst:
+      return burst(instances_per_app);
+    case ScenarioKind::kStaggered: {
+      int min_r = apps_.front().min_interarrival;
+      for (const verify::AppTiming& app : apps_)
+        min_r = std::min(min_r, app.min_interarrival);
+      return staggered(min_r, instances_per_app);
+    }
+    case ScenarioKind::kWorstCaseCoincidence: {
+      std::uniform_int_distribution<int> pick(0, app_count() - 1);
+      return worst_case_coincidence(pick(rng_));
+    }
+    case ScenarioKind::kRandom: {
+      int max_r = 0;
+      for (const verify::AppTiming& app : apps_)
+        max_r = std::max(max_r, app.min_interarrival);
+      return random(instances_per_app, max_r);
+    }
+  }
+  TTDIM_CHECK(false);  // unreachable: all kinds handled above
+}
+
+}  // namespace ttdim::engine

@@ -1,5 +1,6 @@
 #include "verify/app_timing.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ttdim::verify {
@@ -31,6 +32,12 @@ void AppTiming::validate() const {
           "AppTiming " + name +
           ": wait + T+dw must stay below the min inter-arrival r");
   }
+}
+
+int max_dwell(const AppTiming& timing) {
+  int m = 0;
+  for (int v : timing.t_plus) m = std::max(m, v);
+  return m;
 }
 
 AppTiming make_app_timing(const std::string& name,

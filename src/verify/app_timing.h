@@ -24,6 +24,12 @@ struct AppTiming {
   void validate() const;
 };
 
+/// Largest T+dw entry: the longest slot episode the application can
+/// consume. Both the coincidence bound (verify/bounds.cpp) and the
+/// adversarial scenario construction (engine/scenario_generator.cpp)
+/// define the critical window as T*w + max_dwell and must stay in sync.
+[[nodiscard]] int max_dwell(const AppTiming& timing);
+
 /// Expand dwell tables (possibly computed on a coarser Tw granularity)
 /// into a per-sample AppTiming. Lookups between grid points round up to
 /// the conservative entry, mirroring DwellTables::t_minus_at.

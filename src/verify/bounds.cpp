@@ -9,10 +9,8 @@ namespace ttdim::verify {
 int max_coinciding_instances(const AppTiming& victim, const AppTiming& other) {
   victim.validate();
   other.validate();
-  int max_dwell = 0;
-  for (int v : victim.t_plus) max_dwell = std::max(max_dwell, v);
   // Window during which interference can push the victim towards T*w.
-  const int window = victim.t_star_w + max_dwell;
+  const int window = victim.t_star_w + max_dwell(victim);
   // One pending instance plus one per started period of `other`.
   return 1 + (window + other.min_interarrival - 1) / other.min_interarrival;
 }

@@ -1,0 +1,71 @@
+// Golden regression for the end-to-end case-study pipeline: pins the
+// Table-1-style dimensioning of the six paper applications (per-app
+// settling and dwell summary, all three slot assignments, the headline
+// 50 % saving) so a refactor of any layer underneath core::solve cannot
+// silently change the reproduced result.
+#include <algorithm>
+
+#include "casestudy/apps.h"
+#include "core/dimensioning.h"
+#include "gtest/gtest.h"
+
+namespace ttdim {
+namespace {
+
+const core::Solution& golden_solution() {
+  // Solved once: the full pipeline takes seconds and every test below
+  // reads the same immutable result.
+  static const core::Solution solution = [] {
+    std::vector<core::AppSpec> specs;
+    for (const casestudy::App& app : casestudy::all_apps())
+      specs.push_back({app.name, app.plant, app.kt, app.ke,
+                       app.min_interarrival, app.settling_requirement});
+    return core::solve(specs);
+  }();
+  return solution;
+}
+
+int max_t_plus(const switching::DwellTables& t) {
+  int m = 0;
+  for (int v : t.t_plus) m = std::max(m, v);
+  return m;
+}
+
+TEST(CaseStudyGolden, PerApplicationTimingTable) {
+  const core::Solution& s = golden_solution();
+  ASSERT_EQ(s.apps.size(), 6u);
+  const int jt[] = {9, 15, 11, 10, 10, 11};
+  const int je[] = {35, 50, 29, 31, 25, 41};
+  const int t_star_w[] = {11, 13, 15, 12, 12, 12};
+  const int max_minus[] = {5, 8, 5, 6, 4, 8};
+  const int max_plus[] = {6, 10, 9, 9, 9, 11};
+  for (size_t i = 0; i < 6; ++i) {
+    const core::AppSolution& a = s.apps[i];
+    EXPECT_EQ(a.tables.settling_tt, jt[i]) << a.spec.name;
+    EXPECT_EQ(a.tables.settling_et, je[i]) << a.spec.name;
+    EXPECT_EQ(a.tables.t_star_w, t_star_w[i]) << a.spec.name;
+    EXPECT_EQ(a.tables.max_t_minus(), max_minus[i]) << a.spec.name;
+    EXPECT_EQ(max_t_plus(a.tables), max_plus[i]) << a.spec.name;
+    EXPECT_TRUE(a.stability.switching_stable()) << a.spec.name;
+  }
+}
+
+TEST(CaseStudyGolden, ProposedMappingTwoSlots) {
+  const core::Solution& s = golden_solution();
+  const std::vector<std::vector<int>> expected = {{0, 4, 3, 2}, {5, 1}};
+  EXPECT_EQ(s.proposed.slots, expected);
+}
+
+TEST(CaseStudyGolden, BaselineMappingsFourSlots) {
+  const core::Solution& s = golden_solution();
+  const std::vector<std::vector<int>> expected = {{0, 4}, {3, 5}, {1}, {2}};
+  EXPECT_EQ(s.baseline_np.slots, expected);
+  EXPECT_EQ(s.baseline_delayed.slots, expected);
+}
+
+TEST(CaseStudyGolden, FiftyPercentSlotSaving) {
+  EXPECT_DOUBLE_EQ(golden_solution().saving_vs_baseline(), 0.5);
+}
+
+}  // namespace
+}  // namespace ttdim

@@ -182,8 +182,9 @@ TEST(DwellLookup, GranularityRoundsUp) {
 
 TEST(DwellLookup, OutOfRangeRejected) {
   const DwellTables t = tables_for(casestudy::c1());
-  EXPECT_THROW(t.t_minus_at(t.t_star_w + 1), std::logic_error);
-  EXPECT_THROW(t.t_minus_at(-1), std::logic_error);
+  EXPECT_THROW(static_cast<void>(t.t_minus_at(t.t_star_w + 1)),
+               std::logic_error);
+  EXPECT_THROW(static_cast<void>(t.t_minus_at(-1)), std::logic_error);
 }
 
 // ---------------------------------------------------------- Settling map --
@@ -229,9 +230,9 @@ TEST(SettlingMapTest, BoundsChecked) {
   const SwitchedLoop loop(app.plant, app.kt, app.ke);
   const SettlingMap map =
       compute_settling_map(loop, 2, 2, control::SettlingSpec{0.02, 500});
-  EXPECT_THROW(map.at(2, 0), std::logic_error);
-  EXPECT_THROW(map.at(0, 2), std::logic_error);
-  EXPECT_THROW(map.at(-1, 0), std::logic_error);
+  EXPECT_THROW(static_cast<void>(map.at(2, 0)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(map.at(0, 2)), std::logic_error);
+  EXPECT_THROW(static_cast<void>(map.at(-1, 0)), std::logic_error);
 }
 
 // ------------------------------------------------------------ Run-length --
