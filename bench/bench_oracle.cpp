@@ -1,0 +1,92 @@
+// The memoized admission-oracle layer: end-to-end case-study solve time
+// (the ROADMAP's intra-solve hot path) with and without memoization, the
+// warm-shared-cache regime of a batch/serve process, and a CPU
+// calibration loop that lets scripts/check_bench_regression.py normalize
+// solve times across machines of different speed.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/dimensioning.h"
+#include "engine/oracle/verdict_cache.h"
+
+namespace {
+
+using namespace ttdim;
+
+std::vector<core::AppSpec> case_study_specs() {
+  std::vector<core::AppSpec> specs;
+  for (const casestudy::App& app : casestudy::all_apps())
+    specs.push_back({app.name, app.plant, app.kt, app.ke,
+                     app.min_interarrival, app.settling_requirement});
+  return specs;
+}
+
+void report() {
+  std::printf("==== Memoized admission oracle: case-study solve ====\n");
+  const std::vector<core::AppSpec> specs = case_study_specs();
+
+  core::SolveOptions uncached;
+  uncached.memoize_admission = false;
+  const core::Solution cold = core::solve(specs, uncached);
+  std::printf("uncached : %s\n", cold.stats.summary().c_str());
+
+  const auto cache = std::make_shared<engine::oracle::VerdictCache>();
+  core::SolveOptions memoized;
+  memoized.verdict_cache = cache;
+  const core::Solution first = core::solve(specs, memoized);
+  std::printf("memoized : %s\n", first.stats.summary().c_str());
+  const core::Solution warm = core::solve(specs, memoized);
+  std::printf("warm     : %s\n", warm.stats.summary().c_str());
+  const auto stats = cache->stats();
+  std::printf("cache    : %ld hits, %ld misses, %ld insertions, "
+              "%ld evictions\n\n",
+              stats.hits, stats.misses, stats.insertions, stats.evictions);
+}
+
+/// Fixed CPU-bound workload, hardware-dependent but input-independent:
+/// the regression checker divides solve times by this to compare runs
+/// from differently-sized machines.
+void BM_Calibration(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 1.0;
+    for (int i = 1; i <= 4'000'000; ++i)
+      acc += 1.0 / (static_cast<double>(i) * static_cast<double>(i));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Calibration)->Unit(benchmark::kMillisecond);
+
+void BM_CaseStudySolve(benchmark::State& state) {
+  const std::vector<core::AppSpec> specs = case_study_specs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(specs));
+  }
+}
+BENCHMARK(BM_CaseStudySolve)->Unit(benchmark::kMillisecond);
+
+void BM_CaseStudySolveUncached(benchmark::State& state) {
+  const std::vector<core::AppSpec> specs = case_study_specs();
+  core::SolveOptions options;
+  options.memoize_admission = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(specs, options));
+  }
+}
+BENCHMARK(BM_CaseStudySolveUncached)->Unit(benchmark::kMillisecond);
+
+void BM_CaseStudySolveWarmCache(benchmark::State& state) {
+  const std::vector<core::AppSpec> specs = case_study_specs();
+  core::SolveOptions options;
+  options.verdict_cache = std::make_shared<engine::oracle::VerdictCache>();
+  benchmark::DoNotOptimize(core::solve(specs, options));  // warm it
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(specs, options));
+  }
+}
+BENCHMARK(BM_CaseStudySolveWarmCache)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

@@ -10,12 +10,16 @@
 include_guard(GLOBAL)
 
 function(ttdim_resolve_gtest)
-  find_package(GTest QUIET)
-  if(GTest_FOUND)
-    message(STATUS "ttdim: using system GoogleTest")
-    return()
+  if(NOT TTDIM_FORCE_FETCH_GTEST)
+    find_package(GTest QUIET)
+    if(GTest_FOUND)
+      message(STATUS "ttdim: using system GoogleTest")
+      return()
+    endif()
+    message(STATUS "ttdim: system GoogleTest not found, fetching v1.14.0")
+  else()
+    message(STATUS "ttdim: TTDIM_FORCE_FETCH_GTEST set, fetching v1.14.0")
   endif()
-  message(STATUS "ttdim: system GoogleTest not found, fetching v1.14.0")
   include(FetchContent)
   FetchContent_Declare(
     googletest

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Gate on benchmark regressions of the case-study solve.
+
+Compares a fresh google-benchmark JSON report of bench_oracle against the
+checked-in bench/BENCH_baseline.json. Absolute times are meaningless
+across machines, so every solve time is first normalized by the run's own
+BM_Calibration time (a fixed CPU-bound loop): the compared quantity is
+"solves per calibration unit", which cancels the machine's scalar speed.
+
+Usage:
+  check_bench_regression.py <current.json> [--baseline bench/BENCH_baseline.json]
+                            [--threshold 0.25]
+
+Exit code 1 when any gated benchmark is more than `threshold` slower
+(calibrated) than the baseline. Speedups update nothing — refresh the
+baseline deliberately by re-running bench_oracle with
+--benchmark_format=json and committing the result.
+"""
+
+import argparse
+import json
+import sys
+
+GATED = [
+    "BM_CaseStudySolve",
+    "BM_CaseStudySolveUncached",
+    "BM_CaseStudySolveWarmCache",
+]
+CALIBRATION = "BM_Calibration"
+
+
+def load_times(path):
+    with open(path) as fh:
+        report = json.load(fh)
+    times = {}
+    for bench in report.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name not in times and "real_time" in bench:
+            times[name] = float(bench["real_time"])
+    return times
+
+
+def time_of(times, name):
+    """Prefer the _median aggregate (present with --benchmark_repetitions)
+    over the single-run entry."""
+    return times.get(name + "_median", times.get(name))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current", help="fresh bench_oracle JSON report")
+    parser.add_argument("--baseline", default="bench/BENCH_baseline.json")
+    parser.add_argument("--threshold", type=float, default=0.25)
+    args = parser.parse_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+
+    for required in GATED + [CALIBRATION]:
+        for label, times in (("current", current), ("baseline", baseline)):
+            if time_of(times, required) is None:
+                print(f"FAIL: {required} missing from {label} report")
+                return 1
+
+    failed = False
+    for name in GATED:
+        # Calibrated ratio: how many calibration units one solve costs.
+        cur = time_of(current, name) / time_of(current, CALIBRATION)
+        base = time_of(baseline, name) / time_of(baseline, CALIBRATION)
+        change = cur / base - 1.0
+        verdict = "ok"
+        if change > args.threshold:
+            verdict = f"REGRESSION (> {args.threshold:.0%})"
+            failed = True
+        print(
+            f"{name}: baseline {base:.2f} -> current {cur:.2f} "
+            f"calibration units ({change:+.1%}) {verdict}"
+        )
+
+    if failed:
+        print(
+            "\nCase-study solve regressed beyond the threshold. If the "
+            "slowdown is intended, refresh bench/BENCH_baseline.json."
+        )
+        return 1
+    print("\nAll gated benchmarks within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

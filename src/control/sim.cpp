@@ -79,9 +79,94 @@ Trace SwitchedLoop::simulate_pattern(int wait, int dwell,
   return simulate_schedule(modes, spec.horizon);
 }
 
+namespace {
+
+/// State-space cap of the flattened fast path; larger plants fall back to
+/// the Trace-based evaluation (the paper's plants have <= 3 states).
+constexpr Index kFlatMaxStates = 8;
+
+}  // namespace
+
 std::optional<int> SwitchedLoop::settling_of_pattern(
     int wait, int dwell, const SettlingSpec& spec) const {
-  return settling_samples(simulate_pattern(wait, dwell, spec), spec.abs_tol);
+  TTDIM_EXPECTS(wait >= 0 && dwell >= 0);
+  const Index n = plant_.n_states();
+  if (n > kFlatMaxStates)
+    return settling_samples(simulate_pattern(wait, dwell, spec), spec.abs_tol);
+  // simulate_pattern() requires the mode schedule to fit the horizon.
+  TTDIM_EXPECTS(spec.horizon >= wait + dwell);
+
+  // Flatten the loop matrices once. Every arithmetic step below mirrors the
+  // Matrix operator chain of step_tt/step_et/output exactly — same term
+  // order, same skip of exact-zero multiplier entries (Matrix operator*
+  // skips them, Matrix-times-scalar does not) — so the settling verdict is
+  // bit-identical to the Trace-based path.
+  double phi[kFlatMaxStates][kFlatMaxStates];
+  double gamma[kFlatMaxStates];
+  double kt[kFlatMaxStates];
+  double ke[kFlatMaxStates + 1];
+  double c[kFlatMaxStates];
+  for (Index r = 0; r < n; ++r) {
+    for (Index j = 0; j < n; ++j) phi[r][j] = plant_.phi()(r, j);
+    gamma[r] = plant_.gamma()(r, 0);
+    kt[r] = kt_(0, r);
+    ke[r] = ke_(0, r);
+    c[r] = plant_.c()(0, r);
+  }
+  ke[n] = ke_(0, n);
+
+  const LoopState init = disturbed_state();
+  double x[kFlatMaxStates];
+  double xn[kFlatMaxStates];
+  for (Index r = 0; r < n; ++r) x[r] = init.x(r, 0);
+  double u_prev = init.u_prev;
+
+  int last_violation = -1;
+  for (int k = 0; k < spec.horizon; ++k) {
+    double y = 0.0;
+    for (Index j = 0; j < n; ++j) {
+      const double a = c[j];
+      if (a == 0.0) continue;
+      y += a * x[j];
+    }
+    if (!std::isfinite(y)) return std::nullopt;
+    if (std::abs(y) > spec.abs_tol) last_violation = k;
+
+    const bool tt = k >= wait && k < wait + dwell;
+    double applied;  // input acting over [k, k+1)
+    if (tt) {
+      double t = 0.0;
+      for (Index j = 0; j < n; ++j) {
+        const double a = kt[j];
+        if (a == 0.0) continue;
+        t += a * x[j];
+      }
+      applied = -t;
+      u_prev = applied;
+    } else {
+      applied = u_prev;
+      double t = 0.0;
+      for (Index j = 0; j < n; ++j) {
+        const double a = ke[j];
+        if (a == 0.0) continue;
+        t += a * x[j];
+      }
+      if (ke[n] != 0.0) t += ke[n] * u_prev;
+      u_prev = -t;
+    }
+    for (Index r = 0; r < n; ++r) {
+      double acc = 0.0;
+      for (Index j = 0; j < n; ++j) {
+        const double a = phi[r][j];
+        if (a == 0.0) continue;
+        acc += a * x[j];
+      }
+      xn[r] = acc + gamma[r] * applied;
+    }
+    for (Index r = 0; r < n; ++r) x[r] = xn[r];
+  }
+  if (last_violation + 1 >= spec.horizon) return std::nullopt;
+  return last_violation + 1;
 }
 
 Trace SwitchedLoop::simulate_schedule(const std::vector<bool>& modes,

@@ -76,6 +76,11 @@ class SwitchedLoop {
 
   /// Settling time (in samples, from the disturbance) of the pattern
   /// above; nullopt when the loop fails to settle within the horizon.
+  ///
+  /// Equals settling_samples(simulate_pattern(wait, dwell, spec), abs_tol)
+  /// bit-for-bit, but runs allocation-free on flattened dynamics instead of
+  /// materializing a Trace — the dwell-table search and the switching-
+  /// stability grid issue hundreds of thousands of these calls per solve.
   [[nodiscard]] std::optional<int> settling_of_pattern(
       int wait, int dwell, const SettlingSpec& spec) const;
 

@@ -1,11 +1,29 @@
 #include "core/dimensioning.h"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <optional>
 #include <stdexcept>
 
+#include "engine/oracle/admission_oracle.h"
+#include "engine/oracle/dwell_search.h"
+#include "engine/oracle/verdict_cache.h"
+#include "engine/parallel_for.h"
 #include "support/check.h"
 
 namespace ttdim::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 double Solution::saving_vs_baseline() const {
   const int baseline = std::min(baseline_np.slot_count(),
@@ -16,52 +34,98 @@ double Solution::saving_vs_baseline() const {
 
 Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   TTDIM_EXPECTS(!specs.empty());
+  const auto t_solve = Clock::now();
   Solution solution;
-  solution.apps.reserve(specs.size());
 
   // ---- Per-application analysis. -----------------------------------------
-  for (const AppSpec& spec : specs) {
-    AppSolution app{spec, {}, {}, {}};
-    app.stability =
-        control::check_switching_stability(spec.plant, spec.kt, spec.ke);
-    if (options.require_switching_stability &&
-        !app.stability.switching_stable())
-      throw std::invalid_argument(
-          "solve: gain pair of " + spec.name +
-          " is not switching stable (set require_switching_stability = "
-          "false to override)");
+  // Applications are independent, so the phase runs through the
+  // deterministic parallel-for: every app writes only its own slot and the
+  // assembled vector is identical for any thread count. The serial path
+  // would stop at the first failing app in input order; the parallel path
+  // reproduces that by rethrowing the lowest-index failure.
+  const int napps = static_cast<int>(specs.size());
+  const int threads =
+      std::min(engine::resolve_threads(options.analysis_threads), napps);
+  const int row_threads =
+      std::max(1, engine::resolve_threads(options.analysis_threads) / napps);
+  std::vector<std::optional<AppSolution>> analyzed(specs.size());
+  std::vector<std::exception_ptr> failures(specs.size());
+  std::vector<double> stability_ms(specs.size(), 0.0);
+  std::vector<double> dwell_ms(specs.size(), 0.0);
+  engine::parallel_for_index(threads, napps, [&](int i) {
+    const AppSpec& spec = specs[static_cast<size_t>(i)];
+    try {
+      AppSolution app{spec, {}, {}, {}};
+      const auto t_stab = Clock::now();
+      app.stability =
+          control::check_switching_stability(spec.plant, spec.kt, spec.ke);
+      stability_ms[static_cast<size_t>(i)] = ms_since(t_stab);
+      if (options.require_switching_stability &&
+          !app.stability.switching_stable())
+        throw std::invalid_argument(
+            "solve: gain pair of " + spec.name +
+            " is not switching stable (set require_switching_stability = "
+            "false to override)");
 
-    const control::SwitchedLoop loop(spec.plant, spec.kt, spec.ke);
-    switching::DwellAnalysisSpec dwell_spec;
-    dwell_spec.settling_requirement = spec.settling_requirement;
-    dwell_spec.settling = options.settling;
-    dwell_spec.tw_granularity = options.tw_granularity;
-    app.tables = switching::compute_dwell_tables(loop, dwell_spec);
-    if (!app.tables.feasible())
-      throw std::invalid_argument("solve: requirement of " + spec.name +
-                                  " infeasible even with zero wait");
-    app.timing = verify::make_app_timing(spec.name, app.tables,
-                                         spec.min_interarrival);
-    solution.apps.push_back(std::move(app));
-  }
+      const control::SwitchedLoop loop(spec.plant, spec.kt, spec.ke);
+      switching::DwellAnalysisSpec dwell_spec;
+      dwell_spec.settling_requirement = spec.settling_requirement;
+      dwell_spec.settling = options.settling;
+      dwell_spec.tw_granularity = options.tw_granularity;
+      const auto t_dwell = Clock::now();
+      app.tables = engine::oracle::compute_dwell_tables_parallel(
+          loop, dwell_spec, row_threads);
+      dwell_ms[static_cast<size_t>(i)] = ms_since(t_dwell);
+      if (!app.tables.feasible())
+        throw std::invalid_argument("solve: requirement of " + spec.name +
+                                    " infeasible even with zero wait");
+      app.timing = verify::make_app_timing(spec.name, app.tables,
+                                           spec.min_interarrival);
+      analyzed[static_cast<size_t>(i)] = std::move(app);
+    } catch (...) {
+      // Serial runs (the default) fail fast like the pre-oracle loop did;
+      // concurrent workers record the failure and let in-flight siblings
+      // drain, then the lowest-index one is rethrown below.
+      if (threads <= 1) throw;
+      failures[static_cast<size_t>(i)] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& failure : failures)
+    if (failure) std::rethrow_exception(failure);
+  solution.apps.reserve(specs.size());
+  for (std::optional<AppSolution>& app : analyzed)
+    solution.apps.push_back(std::move(*app));
+  solution.stats.analysis_threads =
+      engine::resolve_threads(options.analysis_threads);
+  for (double v : stability_ms) solution.stats.stability_ms += v;
+  for (double v : dwell_ms) solution.stats.dwell_ms += v;
 
-  // ---- Proposed mapping: first-fit + model checking. ----------------------
+  // ---- Proposed mapping: first-fit + model checking, routed through the
+  // memoized admission oracle (engine/oracle). ------------------------------
   std::vector<verify::AppTiming> timings;
   timings.reserve(solution.apps.size());
   for (const AppSolution& a : solution.apps) timings.push_back(a.timing);
 
   const std::vector<int> order = mapping::paper_sort_order(timings);
-  const mapping::SlotOracle proposed_oracle =
-      [&options](const std::vector<verify::AppTiming>& slot_apps) {
-        const verify::DiscreteVerifier verifier(slot_apps);
-        verify::DiscreteVerifier::Options vopt;
-        vopt.max_disturbances_per_app = options.max_disturbances_per_app;
-        vopt.policy = options.policy;
-        return verifier.verify(vopt).safe;
-      };
-  solution.proposed = mapping::first_fit(timings, order, proposed_oracle);
+  verify::DiscreteVerifier::Options vopt;
+  vopt.max_disturbances_per_app = options.max_disturbances_per_app;
+  vopt.policy = options.policy;
+  std::shared_ptr<engine::oracle::VerdictCache> cache;
+  if (options.memoize_admission)
+    cache = options.verdict_cache
+                ? options.verdict_cache
+                : std::make_shared<engine::oracle::VerdictCache>();
+  const engine::oracle::MemoizedAdmissionOracle oracle(vopt, cache);
+  const auto t_mapping = Clock::now();
+  solution.proposed = mapping::first_fit(timings, order, oracle.slot_oracle());
+  solution.stats.mapping_ms = ms_since(t_mapping);
+  solution.stats.oracle_calls = oracle.calls();
+  solution.stats.cache_hits = oracle.hits();
+  solution.stats.cache_misses = oracle.misses();
+  solution.stats.verifier_states = oracle.states_explored();
 
   // ---- Baseline mappings ([9]). -------------------------------------------
+  const auto t_baseline = Clock::now();
   std::vector<sched::BaselineApp> baseline_apps;
   baseline_apps.reserve(solution.apps.size());
   for (const AppSolution& a : solution.apps)
@@ -87,6 +151,8 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
       timings, order, baseline_oracle(sched::BaselineStrategy::kNonPreemptiveDm));
   solution.baseline_delayed = mapping::first_fit(
       timings, order, baseline_oracle(sched::BaselineStrategy::kDelayedRequests));
+  solution.stats.baseline_ms = ms_since(t_baseline);
+  solution.stats.total_ms = ms_since(t_solve);
   return solution;
 }
 

@@ -7,16 +7,22 @@
 //      comparison of Sec. 5.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "control/design.h"
 #include "control/sim.h"
+#include "engine/oracle/solve_stats.h"
 #include "mapping/first_fit.h"
 #include "sched/baseline.h"
 #include "sched/slot_scheduler.h"
 #include "switching/dwell.h"
 #include "verify/discrete.h"
+
+namespace ttdim::engine::oracle {
+class VerdictCache;
+}  // namespace ttdim::engine::oracle
 
 namespace ttdim::core {
 
@@ -43,6 +49,18 @@ struct SolveOptions {
   /// runtime must then use): the paper's strategy or the slack-aware
   /// extension (verify/policy.h).
   verify::SlotPolicy policy = verify::SlotPolicy::kPaper;
+  /// Route admission queries through the memoized oracle layer
+  /// (engine/oracle). The dimensioning result is byte-identical either
+  /// way; disabling reverts to one fresh DiscreteVerifier run per
+  /// first-fit probe (the reference path the cache is tested against).
+  bool memoize_admission = true;
+  /// Verdict cache shared across solves (batch jobs, a serve process).
+  /// nullptr + memoize_admission gives the solve a private cache.
+  std::shared_ptr<engine::oracle::VerdictCache> verdict_cache;
+  /// Thread budget of the per-application analysis phase (stability +
+  /// dwell tables) and of the dwell-row search: 1 = serial (default),
+  /// 0 = hardware concurrency. Results are independent of this value.
+  int analysis_threads = 1;
 
   SolveOptions() {}
 };
@@ -61,6 +79,9 @@ struct Solution {
   mapping::SlotAssignment proposed;          ///< model-checking admission
   mapping::SlotAssignment baseline_np;       ///< [9] strategy 1
   mapping::SlotAssignment baseline_delayed;  ///< [9] strategy 2
+  /// Per-solve instrumentation (phase wall times, oracle/cache counters).
+  /// Measurement only: excluded from engine::fingerprint.
+  engine::oracle::SolveStats stats;
 
   /// Slot-count saving of the proposed strategy vs. the better baseline.
   [[nodiscard]] double saving_vs_baseline() const;

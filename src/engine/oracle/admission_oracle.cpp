@@ -1,0 +1,54 @@
+#include "engine/oracle/admission_oracle.h"
+
+#include <utility>
+
+namespace ttdim::engine::oracle {
+
+MemoizedAdmissionOracle::MemoizedAdmissionOracle(
+    verify::DiscreteVerifier::Options options,
+    std::shared_ptr<VerdictCache> cache)
+    : options_(options), cache_(std::move(cache)) {}
+
+verify::SlotVerdict MemoizedAdmissionOracle::verify(
+    const std::vector<verify::AppTiming>& slot_apps) const {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  if (cache_ == nullptr || options_.want_witness) {
+    const verify::DiscreteVerifier verifier(slot_apps);
+    verify::SlotVerdict verdict = verifier.verify(options_);
+    states_.fetch_add(verdict.states_explored, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return verdict;
+  }
+
+  const SlotConfigKey key = SlotConfigKey::of(slot_apps, options_);
+  if (std::optional<verify::SlotVerdict> cached = cache_->lookup(key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return *std::move(cached);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const verify::DiscreteVerifier verifier(slot_apps);
+  verify::SlotVerdict verdict = verifier.verify(options_);
+  states_.fetch_add(verdict.states_explored, std::memory_order_relaxed);
+  // Only safe verdicts are cached: they are exhaustive, so every field
+  // (safe, states_explored = |reachable set|, empty witness, violator -1)
+  // is invariant under member permutation and traversal order — exactly
+  // the invariance the canonical key assumes. An unsafe verdict stops at
+  // the first violation found, so its violator indexes the query order
+  // and its state count depends on it; those re-prove fresh (they are the
+  // cheap case: the search stops early).
+  if (verdict.safe) cache_->insert(key, verdict);
+  return verdict;
+}
+
+bool MemoizedAdmissionOracle::admit(
+    const std::vector<verify::AppTiming>& slot_apps) const {
+  return verify(slot_apps).safe;
+}
+
+mapping::SlotOracle MemoizedAdmissionOracle::slot_oracle() const {
+  return [this](const std::vector<verify::AppTiming>& slot_apps) {
+    return admit(slot_apps);
+  };
+}
+
+}  // namespace ttdim::engine::oracle

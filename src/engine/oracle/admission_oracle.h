@@ -1,0 +1,73 @@
+// The memoized admission oracle: the layer between the mapping walks
+// (mapping::first_fit / best_fit, core::solve) and verify::DiscreteVerifier.
+// Every admission query is canonicalized to a SlotConfigKey and answered
+// from the VerdictCache when possible; only cache misses pay for a
+// reachability proof. Thread-safe: concurrent queries (parallel dwell
+// search, batch jobs sharing one cache) only contend on the cache mutex
+// and on the atomic counters.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "engine/oracle/slot_config_key.h"
+#include "engine/oracle/verdict_cache.h"
+#include "mapping/first_fit.h"
+#include "verify/discrete.h"
+
+namespace ttdim::engine::oracle {
+
+class MemoizedAdmissionOracle {
+ public:
+  /// `cache` may be nullptr to disable memoization (every query verifies
+  /// fresh — the reference behaviour the cached path is tested against),
+  /// or shared between oracles/solves to reuse verdicts across them.
+  MemoizedAdmissionOracle(verify::DiscreteVerifier::Options options,
+                          std::shared_ptr<VerdictCache> cache);
+
+  /// Full verdict for one slot population. Only *safe* verdicts are ever
+  /// served from (or inserted into) the cache — a safe proof is
+  /// exhaustive, so all its fields are independent of member order and
+  /// traversal order, matching the canonical key. Unsafe verdicts (whose
+  /// violator index and state count depend on the query order) and
+  /// witness queries (options.want_witness) always verify fresh.
+  [[nodiscard]] verify::SlotVerdict verify(
+      const std::vector<verify::AppTiming>& slot_apps) const;
+
+  /// Admission answer (verdict.safe).
+  [[nodiscard]] bool admit(
+      const std::vector<verify::AppTiming>& slot_apps) const;
+
+  /// Adapter for the mapping walks. The returned closure references this
+  /// oracle; it must not outlive it.
+  [[nodiscard]] mapping::SlotOracle slot_oracle() const;
+
+  [[nodiscard]] const std::shared_ptr<VerdictCache>& cache() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] const verify::DiscreteVerifier::Options& options()
+      const noexcept {
+    return options_;
+  }
+
+  // Counters for this oracle instance (a shared cache aggregates across
+  // instances; these stay per-solve).
+  [[nodiscard]] long calls() const noexcept { return calls_.load(); }
+  [[nodiscard]] long hits() const noexcept { return hits_.load(); }
+  [[nodiscard]] long misses() const noexcept { return misses_.load(); }
+  /// States explored by fresh verifier runs issued through this oracle.
+  [[nodiscard]] long states_explored() const noexcept {
+    return states_.load();
+  }
+
+ private:
+  verify::DiscreteVerifier::Options options_;
+  std::shared_ptr<VerdictCache> cache_;
+  mutable std::atomic<long> calls_{0};
+  mutable std::atomic<long> hits_{0};
+  mutable std::atomic<long> misses_{0};
+  mutable std::atomic<long> states_{0};
+};
+
+}  // namespace ttdim::engine::oracle

@@ -1,0 +1,20 @@
+// Parallel dwell-table search: evaluates independent candidate wait values
+// concurrently (each row is a pure function of the loop and the wait) and
+// assembles tables byte-identical to switching::compute_dwell_tables —
+// the serial search's early stop at the first infeasible wait is
+// reproduced by speculating rows in bounded chunks and truncating at the
+// first infeasible row in wait order.
+#pragma once
+
+#include "switching/dwell.h"
+
+namespace ttdim::engine::oracle {
+
+/// Byte-identical to switching::compute_dwell_tables(loop, spec) for every
+/// input, including thrown exceptions. `threads` <= 1 delegates to the
+/// serial search outright; 0 uses the hardware concurrency.
+[[nodiscard]] switching::DwellTables compute_dwell_tables_parallel(
+    const switching::SwitchedLoop& loop,
+    const switching::DwellAnalysisSpec& spec, int threads);
+
+}  // namespace ttdim::engine::oracle

@@ -1,0 +1,62 @@
+#include "engine/oracle/slot_config_key.h"
+
+#include <algorithm>
+
+namespace ttdim::engine::oracle {
+
+namespace {
+
+void append_int(std::string& out, int v) {
+  out += std::to_string(v);
+  out += ',';
+}
+
+std::string serialize_app(const verify::AppTiming& app) {
+  std::string s;
+  s.reserve(8 * (app.t_minus.size() + app.t_plus.size()) + 16);
+  append_int(s, app.t_star_w);
+  append_int(s, app.min_interarrival);
+  s += '-';
+  for (int v : app.t_minus) append_int(s, v);
+  s += '+';
+  for (int v : app.t_plus) append_int(s, v);
+  return s;
+}
+
+}  // namespace
+
+SlotConfigKey SlotConfigKey::of(
+    const std::vector<verify::AppTiming>& apps,
+    const verify::DiscreteVerifier::Options& options) {
+  std::vector<std::string> parts;
+  parts.reserve(apps.size());
+  for (const verify::AppTiming& app : apps) parts.push_back(serialize_app(app));
+  std::sort(parts.begin(), parts.end());
+
+  SlotConfigKey key;
+  std::size_t total = 16;
+  for (const std::string& p : parts) total += p.size() + 1;
+  key.canonical.reserve(total);
+  for (const std::string& p : parts) {
+    key.canonical += p;
+    key.canonical += ';';
+  }
+  key.canonical += "p=";
+  key.canonical += std::to_string(static_cast<int>(options.policy));
+  key.canonical += ";d=";
+  key.canonical += std::to_string(options.max_disturbances_per_app);
+  key.canonical += ";s=";
+  key.canonical += std::to_string(options.max_states);
+
+  // FNV-1a; equality re-checks the canonical string, so the hash only has
+  // to spread buckets.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : key.canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  key.hash = h;
+  return key;
+}
+
+}  // namespace ttdim::engine::oracle

@@ -1,0 +1,51 @@
+// Canonical identity of an admission query: the set of applications posed
+// to verify::DiscreteVerifier plus the verifier options that influence the
+// verdict. The key is order-independent — first-fit probes the same slot
+// population in whatever order the walk produced it, and a slot's
+// admissibility does not depend on member order — and name-independent,
+// because the verdict is a function of the timing parameters only.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/app_timing.h"
+#include "verify/discrete.h"
+
+namespace ttdim::engine::oracle {
+
+/// Value key for the verdict cache. `canonical` is the full normalized
+/// serialization (equality never trusts the hash alone: an admission
+/// cache must not return a colliding entry's verdict).
+struct SlotConfigKey {
+  std::string canonical;
+  std::uint64_t hash = 0;
+
+  /// Build the canonical key: per-app timing serializations (T*w, r,
+  /// T-dw[], T+dw[] — names excluded) sorted lexicographically, followed
+  /// by the verdict-affecting options: policy, disturbance bound and the
+  /// state budget (a smaller budget can turn a completed proof into a
+  /// budget-exhausted throw, so sharing verdicts across budgets would
+  /// make memoization observable). Witness/traversal options are
+  /// excluded — the memoized oracle caches only exhaustive safe verdicts
+  /// and bypasses the cache for witness queries.
+  [[nodiscard]] static SlotConfigKey of(
+      const std::vector<verify::AppTiming>& apps,
+      const verify::DiscreteVerifier::Options& options);
+
+  friend bool operator==(const SlotConfigKey& a, const SlotConfigKey& b) {
+    return a.hash == b.hash && a.canonical == b.canonical;
+  }
+  friend bool operator!=(const SlotConfigKey& a, const SlotConfigKey& b) {
+    return !(a == b);
+  }
+};
+
+struct SlotConfigKeyHash {
+  [[nodiscard]] std::size_t operator()(const SlotConfigKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash);
+  }
+};
+
+}  // namespace ttdim::engine::oracle

@@ -1,0 +1,34 @@
+#include "engine/oracle/solve_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ttdim::engine::oracle {
+
+std::string SolveStats::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "total %.1f ms (stability %.1f, dwell %.1f, mapping %.1f, "
+                "baseline %.1f) | oracle %ld calls, %ld hits, %ld misses, "
+                "%ld states",
+                total_ms, stability_ms, dwell_ms, mapping_ms, baseline_ms,
+                oracle_calls, cache_hits, cache_misses, verifier_states);
+  return buf;
+}
+
+SolveStats operator+(const SolveStats& a, const SolveStats& b) {
+  SolveStats out;
+  out.stability_ms = a.stability_ms + b.stability_ms;
+  out.dwell_ms = a.dwell_ms + b.dwell_ms;
+  out.mapping_ms = a.mapping_ms + b.mapping_ms;
+  out.baseline_ms = a.baseline_ms + b.baseline_ms;
+  out.total_ms = a.total_ms + b.total_ms;
+  out.oracle_calls = a.oracle_calls + b.oracle_calls;
+  out.cache_hits = a.cache_hits + b.cache_hits;
+  out.cache_misses = a.cache_misses + b.cache_misses;
+  out.verifier_states = a.verifier_states + b.verifier_states;
+  out.analysis_threads = std::max(a.analysis_threads, b.analysis_threads);
+  return out;
+}
+
+}  // namespace ttdim::engine::oracle

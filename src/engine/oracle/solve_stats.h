@@ -1,0 +1,41 @@
+// Lightweight per-solve instrumentation, threaded from core::solve up
+// through BatchRunner to benches and (eventually) the serve API. Wall
+// times are measurement, not result: they are deliberately excluded from
+// engine::fingerprint so instrumented and uninstrumented solves stay
+// byte-identical.
+#pragma once
+
+#include <string>
+
+namespace ttdim::engine::oracle {
+
+struct SolveStats {
+  // Time per phase, milliseconds. stability_ms and dwell_ms sum the
+  // per-application durations, so with analysis_threads > 1 they are
+  // aggregate busy time (can exceed total_ms); they equal the phase wall
+  // time in the default serial configuration. mapping_ms, baseline_ms
+  // and total_ms are always wall time.
+  double stability_ms = 0.0;  ///< switching-stability checks
+  double dwell_ms = 0.0;      ///< dwell-table searches
+  double mapping_ms = 0.0;    ///< proposed first-fit incl. admission proofs
+  double baseline_ms = 0.0;   ///< both baseline mappings
+  double total_ms = 0.0;
+
+  // Admission-oracle counters (proposed mapping only; the baselines use
+  // the closed-form [9] analysis, not the verifier).
+  long oracle_calls = 0;      ///< admission queries posed by the walk
+  long cache_hits = 0;        ///< answered from the VerdictCache
+  long cache_misses = 0;      ///< required a fresh DiscreteVerifier run
+  long verifier_states = 0;   ///< states explored by fresh runs
+
+  int analysis_threads = 1;   ///< thread budget of the per-app phase
+
+  /// One-line human-readable form for benches and logs.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Element-wise sum of the counters and times (thread counts keep the
+/// maximum) — BatchRunner-level aggregation.
+[[nodiscard]] SolveStats operator+(const SolveStats& a, const SolveStats& b);
+
+}  // namespace ttdim::engine::oracle

@@ -1,0 +1,54 @@
+#include "engine/oracle/verdict_cache.h"
+
+#include "support/check.h"
+
+namespace ttdim::engine::oracle {
+
+VerdictCache::VerdictCache(std::size_t capacity) : capacity_(capacity) {
+  TTDIM_EXPECTS(capacity >= 1);
+  stats_.capacity = capacity;
+}
+
+std::optional<verify::SlotVerdict> VerdictCache::lookup(
+    const SlotConfigKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void VerdictCache::insert(const SlotConfigKey& key,
+                          verify::SlotVerdict verdict) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index_.find(key) != index_.end()) return;  // concurrent-miss duplicate
+  lru_.emplace_front(key, std::move(verdict));
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+CacheStats VerdictCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out = stats_;
+  out.size = lru_.size();
+  return out;
+}
+
+void VerdictCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  stats_ = CacheStats{};
+  stats_.capacity = capacity_;
+}
+
+}  // namespace ttdim::engine::oracle

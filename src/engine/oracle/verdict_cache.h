@@ -1,0 +1,64 @@
+// Thread-safe memoization of admission verdicts, keyed by SlotConfigKey.
+// One cache can be private to a solve, shared across the probes of a
+// first-fit walk, or shared across a whole BatchRunner batch / serve
+// process — the further it is shared, the more re-proofs it absorbs.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/oracle/slot_config_key.h"
+#include "verify/discrete.h"
+
+namespace ttdim::engine::oracle {
+
+/// Monotonic cache counters (snapshot; taken under the cache lock).
+struct CacheStats {
+  long hits = 0;
+  long misses = 0;
+  long insertions = 0;
+  long evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+};
+
+/// Bounded LRU map SlotConfigKey -> SlotVerdict. All operations are
+/// serialized on an internal mutex: verdicts are milliseconds-to-seconds
+/// expensive, so lock contention is never the bottleneck. Concurrent
+/// misses of the same key may both verify and insert; the second insert
+/// is a no-op (verdicts for one key are interchangeable), counted once.
+class VerdictCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit VerdictCache(std::size_t capacity = kDefaultCapacity);
+
+  /// Returns the cached verdict and refreshes its recency; counts a hit
+  /// or a miss.
+  [[nodiscard]] std::optional<verify::SlotVerdict> lookup(
+      const SlotConfigKey& key);
+
+  /// Inserts (no-op when the key is already present), evicting the least
+  /// recently used entry when full.
+  void insert(const SlotConfigKey& key, verify::SlotVerdict verdict);
+
+  [[nodiscard]] CacheStats stats() const;
+  void clear();
+
+ private:
+  using Entry = std::pair<SlotConfigKey, verify::SlotVerdict>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<SlotConfigKey, std::list<Entry>::iterator,
+                     SlotConfigKeyHash>
+      index_;
+  CacheStats stats_;
+};
+
+}  // namespace ttdim::engine::oracle

@@ -1,0 +1,62 @@
+#include "engine/parallel_for.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace ttdim::engine {
+
+int resolve_threads(int threads) {
+  TTDIM_EXPECTS(threads >= 0);
+  if (threads != 0) return threads;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for_index(int threads, int n,
+                        const std::function<void(int)>& fn) {
+  TTDIM_EXPECTS(n >= 0);
+  if (n == 0) return;
+  const int workers = std::min(resolve_threads(threads), n);
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<int> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto drain = [&] {
+    for (;;) {
+      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  try {
+    for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
+  } catch (...) {
+    // Thread spawn failed (resource exhaustion): drain with what we have,
+    // join, and surface the error instead of terminating on ~thread.
+    drain();
+    for (std::thread& t : pool) t.join();
+    throw;
+  }
+  drain();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ttdim::engine

@@ -1,0 +1,24 @@
+// Deterministic self-scheduling parallel-for, shared by BatchRunner (jobs
+// across a batch) and the oracle layer's dwell search (candidate waits
+// inside one solve). Workers claim the next unclaimed index from an atomic
+// cursor; every index runs exactly once and writes only state it owns, so
+// results are independent of the thread count.
+#pragma once
+
+#include <functional>
+
+namespace ttdim::engine {
+
+/// Resolve a thread-count request: 0 picks hardware_concurrency (at least
+/// 1); positive values pass through. Negative counts are a logic error.
+[[nodiscard]] int resolve_threads(int threads);
+
+/// fn(i) for i in [0, n), each index claimed exactly once. fn runs
+/// concurrently on up to `threads` threads (the calling thread is worker
+/// 0) and must only write state owned by index i. threads <= 1 runs the
+/// plain serial loop on the calling thread. The first exception escaping
+/// fn is rethrown on the calling thread after all workers drain.
+void parallel_for_index(int threads, int n,
+                        const std::function<void(int)>& fn);
+
+}  // namespace ttdim::engine

@@ -38,13 +38,15 @@ SlotAssignment fit_walk(const std::vector<AppTiming>& apps,
                         const SlotOracle& oracle, bool best_fit_mode) {
   TTDIM_EXPECTS(order.size() == apps.size());
   SlotAssignment assignment;
+  // Scratch for the would-be slot population, reused across probes.
+  std::vector<AppTiming> candidate;
   for (int idx : order) {
     TTDIM_EXPECTS(idx >= 0 && idx < static_cast<int>(apps.size()));
     int chosen = -1;
     size_t chosen_size = 0;
     for (size_t s = 0; s < assignment.slots.size(); ++s) {
       std::vector<int>& slot = assignment.slots[s];
-      std::vector<AppTiming> candidate;
+      candidate.clear();
       candidate.reserve(slot.size() + 1);
       for (int member : slot)
         candidate.push_back(apps[static_cast<size_t>(member)]);

@@ -13,7 +13,10 @@ namespace ttdim::mapping {
 
 using verify::AppTiming;
 
-/// Admission oracle: can this set of applications share one slot?
+/// Admission oracle: can this set of applications share one slot? When the
+/// answer comes from the model checker, route it through
+/// engine::oracle::MemoizedAdmissionOracle (core::solve does) so repeated
+/// probes — across slots, walks and batch jobs — are proved once.
 using SlotOracle =
     std::function<bool(const std::vector<AppTiming>& slot_apps)>;
 

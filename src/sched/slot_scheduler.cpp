@@ -1,5 +1,6 @@
 #include "sched/slot_scheduler.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -115,8 +116,13 @@ ScheduleResult simulate_slot(const std::vector<AppTiming>& apps,
       RuntimeApp& o = state[static_cast<size_t>(occupant)];
       const int ct = o.elapsed - o.wt_grant;
       const auto& t = apps[static_cast<size_t>(occupant)];
-      const int dtm = t.t_minus[static_cast<size_t>(o.wt_grant)];
-      const int dtp = t.t_plus[static_cast<size_t>(o.wt_grant)];
+      // The simulator keeps running after a deadline violation (the plots
+      // need the tail), so a grant may arrive with wt_grant > T*w, past
+      // the end of the dwell tables; use the T*w row for such occupants.
+      const size_t wt_row =
+          static_cast<size_t>(std::min(o.wt_grant, t.t_star_w));
+      const int dtm = t.t_minus[wt_row];
+      const int dtp = t.t_plus[wt_row];
       const bool evict = ct == dtp;
       bool preempt = !evict && ct >= dtm && any_waiter();
       if (preempt && policy == SlotPolicy::kSlackAware) {

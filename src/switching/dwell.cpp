@@ -53,8 +53,8 @@ const std::optional<int>& SettlingMap::at(int wait, int dwell) const {
   return j[static_cast<size_t>(wait * dwell_count + dwell)];
 }
 
-DwellTables compute_dwell_tables(const SwitchedLoop& loop,
-                                 const DwellAnalysisSpec& spec) {
+DwellEndpoints check_dwell_spec(const SwitchedLoop& loop,
+                                const DwellAnalysisSpec& spec) {
   if (spec.settling_requirement <= 0)
     throw std::invalid_argument("dwell analysis: J* must be positive");
   if (spec.tw_granularity < 1)
@@ -63,9 +63,6 @@ DwellTables compute_dwell_tables(const SwitchedLoop& loop,
     throw std::invalid_argument(
         "dwell analysis: settling horizon too short for the requirement");
 
-  DwellTables tables;
-  tables.tw_granularity = spec.tw_granularity;
-
   // JT: dedicated slot (mode MT throughout). JE: dynamic segment only.
   const std::optional<int> jt =
       loop.settling_of_pattern(0, spec.settling.horizon, spec.settling);
@@ -73,50 +70,69 @@ DwellTables compute_dwell_tables(const SwitchedLoop& loop,
   if (!jt.has_value())
     throw std::invalid_argument(
         "dwell analysis: loop does not settle even with a dedicated TT slot");
-  tables.settling_tt = *jt;
-  tables.settling_et = je.value_or(spec.settling.horizon);
   if (*jt > spec.settling_requirement)
     throw std::invalid_argument(
         "dwell analysis: requirement unmeetable, J* < JT");
+  return {*jt, je.value_or(spec.settling.horizon)};
+}
+
+std::optional<DwellRow> compute_dwell_row(const SwitchedLoop& loop, int wait,
+                                          const DwellAnalysisSpec& spec) {
+  const std::vector<std::optional<int>> by_dwell =
+      settling_versus_dwell(loop, wait, spec);
+  // Minimum dwell meeting the requirement; dwell 0 is not an option (the
+  // strategy always takes the slot for at least one sample once granted).
+  std::optional<int> t_minus;
+  for (int d = 1; d < static_cast<int>(by_dwell.size()); ++d) {
+    const auto& j = by_dwell[static_cast<size_t>(d)];
+    if (j.has_value() && *j <= spec.settling_requirement) {
+      t_minus = d;
+      break;
+    }
+  }
+  if (!t_minus.has_value()) return std::nullopt;
+
+  // Smallest dwell reaching the best achievable settling time. The tail
+  // entry of by_dwell is the plateau, so the minimum over the vector is
+  // the minimum over all dwells.
+  int j_best = spec.settling.horizon;
+  for (int d = 1; d < static_cast<int>(by_dwell.size()); ++d) {
+    const auto& j = by_dwell[static_cast<size_t>(d)];
+    if (j.has_value()) j_best = std::min(j_best, *j);
+  }
+  int t_plus = *t_minus;
+  for (int d = 1; d < static_cast<int>(by_dwell.size()); ++d) {
+    const auto& j = by_dwell[static_cast<size_t>(d)];
+    if (j.has_value() && *j == j_best) {
+      t_plus = d;
+      break;
+    }
+  }
+
+  DwellRow row;
+  row.t_minus = *t_minus;
+  row.t_plus = t_plus;
+  row.settling_at_minus = *by_dwell[static_cast<size_t>(*t_minus)];
+  row.settling_at_plus = *by_dwell[static_cast<size_t>(t_plus)];
+  return row;
+}
+
+DwellTables compute_dwell_tables(const SwitchedLoop& loop,
+                                 const DwellAnalysisSpec& spec) {
+  const DwellEndpoints endpoints = check_dwell_spec(loop, spec);
+  DwellTables tables;
+  tables.tw_granularity = spec.tw_granularity;
+  tables.settling_tt = endpoints.settling_tt;
+  tables.settling_et = endpoints.settling_et;
 
   for (int wait = 0; wait <= spec.max_wait; wait += spec.tw_granularity) {
-    const std::vector<std::optional<int>> by_dwell =
-        settling_versus_dwell(loop, wait, spec);
-    // Minimum dwell meeting the requirement; dwell 0 is not an option (the
-    // strategy always takes the slot for at least one sample once granted).
-    std::optional<int> t_minus;
-    for (int d = 1; d < static_cast<int>(by_dwell.size()); ++d) {
-      const auto& j = by_dwell[static_cast<size_t>(d)];
-      if (j.has_value() && *j <= spec.settling_requirement) {
-        t_minus = d;
-        break;
-      }
-    }
-    if (!t_minus.has_value()) break;  // this and larger waits are infeasible
-
-    // Smallest dwell reaching the best achievable settling time. The tail
-    // entry of by_dwell is the plateau, so the minimum over the vector is
-    // the minimum over all dwells.
-    int j_best = spec.settling.horizon;
-    for (int d = 1; d < static_cast<int>(by_dwell.size()); ++d) {
-      const auto& j = by_dwell[static_cast<size_t>(d)];
-      if (j.has_value()) j_best = std::min(j_best, *j);
-    }
-    int t_plus = *t_minus;
-    for (int d = 1; d < static_cast<int>(by_dwell.size()); ++d) {
-      const auto& j = by_dwell[static_cast<size_t>(d)];
-      if (j.has_value() && *j == j_best) {
-        t_plus = d;
-        break;
-      }
-    }
-
+    const std::optional<DwellRow> row = compute_dwell_row(loop, wait, spec);
+    if (!row.has_value()) break;  // this and larger waits are infeasible
     tables.t_star_w = wait;
-    tables.t_minus.push_back(*t_minus);
-    tables.t_plus.push_back(t_plus);
-    tables.settling_at_minus.push_back(
-        *by_dwell[static_cast<size_t>(*t_minus)]);
-    tables.settling_at_plus.push_back(*by_dwell[static_cast<size_t>(t_plus)]);
+    tables.t_minus.push_back(row->t_minus);
+    tables.t_plus.push_back(row->t_plus);
+    tables.settling_at_minus.push_back(row->settling_at_minus);
+    tables.settling_at_plus.push_back(row->settling_at_plus);
   }
   if (tables.t_star_w < 0) return tables;  // infeasible even at Tw = 0
 

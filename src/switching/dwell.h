@@ -67,6 +67,32 @@ struct SettlingMap {
   [[nodiscard]] const std::optional<int>& at(int wait, int dwell) const;
 };
 
+/// One assembled table row: the dwell bounds and achieved settling times
+/// for a single wait value. Rows are pure functions of (loop, wait, spec),
+/// which is what lets the oracle layer evaluate candidate waits in
+/// parallel and still assemble byte-identical tables.
+struct DwellRow {
+  int t_minus = 0;            ///< T-dw(Tw)
+  int t_plus = 0;             ///< T+dw(Tw)
+  int settling_at_minus = 0;  ///< J(Tw, T-dw(Tw))
+  int settling_at_plus = 0;   ///< J(Tw, T+dw(Tw))
+};
+
+/// Evaluate one candidate wait: nullopt when the settling requirement is
+/// unmeetable at this wait (the serial search stops at the first such row).
+[[nodiscard]] std::optional<DwellRow> compute_dwell_row(
+    const SwitchedLoop& loop, int wait, const DwellAnalysisSpec& spec);
+
+/// Validate the spec and measure the mode-only settling times JT / JE.
+/// Shared prologue of the serial and parallel table searches; throws
+/// std::invalid_argument exactly like compute_dwell_tables.
+struct DwellEndpoints {
+  int settling_tt = 0;  ///< JT
+  int settling_et = 0;  ///< JE (horizon when ME alone never settles)
+};
+[[nodiscard]] DwellEndpoints check_dwell_spec(const SwitchedLoop& loop,
+                                              const DwellAnalysisSpec& spec);
+
 /// Exhaustively simulate all switching patterns allowed by the strategy
 /// and assemble the dwell tables. Throws std::invalid_argument when the
 /// requirement is unmeetable even with a dedicated slot (J* < JT) or the

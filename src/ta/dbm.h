@@ -20,9 +20,17 @@ using Bound = int32_t;
 
 inline constexpr Bound kInfinity = std::numeric_limits<int32_t>::max();
 
+/// Shift through uint32_t: left-shifting a negative value is undefined
+/// before C++20, and bound constants are frequently negative (upper bounds
+/// of differences). The wrap-around conversion back to int32_t produces
+/// the intended two's-complement encoding.
+[[nodiscard]] constexpr Bound shifted(int32_t c) {
+  return static_cast<Bound>(static_cast<uint32_t>(c) << 1);
+}
+
 /// (c, <) for strict, (c, <=) for weak bounds.
-[[nodiscard]] constexpr Bound bound_strict(int32_t c) { return c << 1; }
-[[nodiscard]] constexpr Bound bound_weak(int32_t c) { return (c << 1) | 1; }
+[[nodiscard]] constexpr Bound bound_strict(int32_t c) { return shifted(c); }
+[[nodiscard]] constexpr Bound bound_weak(int32_t c) { return shifted(c) | 1; }
 /// The tightest possible bound encodes the empty zone marker on d[0][0].
 [[nodiscard]] constexpr Bound bound_zero_weak() { return bound_weak(0); }
 
@@ -32,8 +40,7 @@ inline constexpr Bound kInfinity = std::numeric_limits<int32_t>::max();
 /// Saturating bound addition.
 [[nodiscard]] constexpr Bound bound_add(Bound a, Bound b) {
   if (a == kInfinity || b == kInfinity) return kInfinity;
-  return ((bound_value(a) + bound_value(b)) << 1) |
-         ((a & 1) & (b & 1));
+  return shifted(bound_value(a) + bound_value(b)) | ((a & 1) & (b & 1));
 }
 
 /// Canonical-form difference bound matrix over `clocks` real clocks (plus

@@ -1,6 +1,8 @@
 #include "verify/discrete.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <deque>
 #include <stdexcept>
 #include <unordered_map>
@@ -24,30 +26,117 @@ struct AppState {
   uint8_t dist_count = 0;
 };
 
-using State = std::vector<AppState>;
+/// Stack-allocated state vector: the BFS copies states for every
+/// disturbance subset and grant branch, so heap-backed storage here is the
+/// difference between ~10 and ~100+ bytes of allocator traffic per emitted
+/// successor.
+using State = std::array<AppState, DiscreteVerifier::kMaxApps>;
 
-// Three bytes per application (mode and disturbance budget share a byte)
-// keep keys of <= 5 applications inside std::string's inline buffer, which
-// matters: the BFS stores millions of keys.
-std::string encode(const State& s) {
-  std::string key;
-  key.reserve(s.size() * 3);
-  for (const AppState& a : s) {
-    key.push_back(static_cast<char>(a.loc | (a.dist_count << 2)));
-    key.push_back(static_cast<char>(a.elapsed));
-    key.push_back(static_cast<char>(a.wt_grant));
+/// Dedup key: three bytes per application (mode and disturbance budget
+/// share a byte), zero-padded to the fixed capacity so hashing and
+/// equality never touch the heap. The BFS stores millions of these.
+struct Key {
+  std::array<uint8_t, 3 * DiscreteVerifier::kMaxApps> bytes{};
+  uint8_t len = 0;
+
+  friend bool operator==(const Key& a, const Key& b) {
+    return a.len == b.len &&
+           std::memcmp(a.bytes.data(), b.bytes.data(), a.len) == 0;
+  }
+  friend bool operator!=(const Key& a, const Key& b) { return !(a == b); }
+};
+
+/// Word-at-a-time mix over the zero-padded key (splitmix-style). The
+/// trailing zero padding is identical for all keys of one run, so hashing
+/// the full fixed capacity is both branch-free and collision-neutral.
+struct KeyHash {
+  // The word loop below reads the byte array in full 8-byte strides.
+  static_assert(sizeof(Key{}.bytes) % 8 == 0,
+                "3 * kMaxApps must be a multiple of 8 or the last memcpy "
+                "would read into the len field and padding");
+
+  size_t operator()(const Key& k) const noexcept {
+    uint64_t h = 0x9E3779B97F4A7C15ull ^ k.len;
+    for (size_t off = 0; off < k.bytes.size(); off += 8) {
+      uint64_t w;
+      std::memcpy(&w, k.bytes.data() + off, 8);
+      h = (h ^ w) * 0xFF51AFD7ED558CCDull;
+      h ^= h >> 29;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// Open-addressing visited set: linear probing over flat (hash, key) slots.
+/// The BFS performs tens of millions of membership-or-insert operations;
+/// node-based std::unordered_set spends more time in the allocator and on
+/// pointer chases than the whole rest of the search.
+class VisitedSet {
+ public:
+  VisitedSet() { rehash(1u << 16); }
+
+  /// True when the key was newly inserted (i.e. not seen before).
+  bool insert(const Key& k) {
+    const uint64_t h = KeyHash{}(k) | 1;  // 0 marks an empty slot
+    size_t i = static_cast<size_t>(h) & mask_;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.hash == 0) {
+        s.hash = h;
+        s.key = k;
+        if (++size_ > grow_at_) rehash(2 * (mask_ + 1));
+        return true;
+      }
+      if (s.hash == h && s.key == k) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    Key key;
+  };
+
+  void rehash(size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity - 1;
+    grow_at_ = capacity - capacity / 4;  // load factor 0.75
+    for (const Slot& s : old) {
+      if (s.hash == 0) continue;
+      size_t i = static_cast<size_t>(s.hash) & mask_;
+      while (slots_[i].hash != 0) i = (i + 1) & mask_;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  size_t grow_at_ = 0;
+};
+
+Key encode(const State& s, size_t napps) {
+  Key key;
+  key.len = static_cast<uint8_t>(3 * napps);
+  for (size_t i = 0; i < napps; ++i) {
+    const AppState& a = s[i];
+    key.bytes[3 * i] = static_cast<uint8_t>(a.loc | (a.dist_count << 2));
+    key.bytes[3 * i + 1] = a.elapsed;
+    key.bytes[3 * i + 2] = a.wt_grant;
   }
   return key;
 }
 
-State decode(const std::string& key, size_t napps) {
-  State s(napps);
+State decode(const Key& key, size_t napps) {
+  State s{};
   for (size_t i = 0; i < napps; ++i) {
-    const auto packed = static_cast<uint8_t>(key[3 * i]);
+    const uint8_t packed = key.bytes[3 * i];
     s[i].loc = packed & 0x03;
     s[i].dist_count = packed >> 2;
-    s[i].elapsed = static_cast<uint8_t>(key[3 * i + 1]);
-    s[i].wt_grant = static_cast<uint8_t>(key[3 * i + 2]);
+    s[i].elapsed = key.bytes[3 * i + 1];
+    s[i].wt_grant = key.bytes[3 * i + 2];
   }
   return s;
 }
@@ -57,6 +146,13 @@ State decode(const std::string& key, size_t napps) {
 DiscreteVerifier::DiscreteVerifier(std::vector<AppTiming> apps)
     : apps_(std::move(apps)) {
   TTDIM_EXPECTS(!apps_.empty());
+  if (apps_.size() > kMaxApps)
+    throw std::invalid_argument(
+        "DiscreteVerifier: " + std::to_string(apps_.size()) +
+        " applications in one slot exceeds the supported maximum of " +
+        std::to_string(kMaxApps) +
+        " (the search explores 2^napps disturbance subsets per state and "
+        "is intractable long before this bound)");
   for (const AppTiming& a : apps_) {
     a.validate();
     // The packed representation stores counters in bytes.
@@ -73,35 +169,35 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
   TTDIM_EXPECTS(options.max_disturbances_per_app <= 62);
 
   SlotVerdict verdict;
-  std::unordered_set<std::string> visited;
-  std::deque<std::string> queue;
+  VisitedSet visited;
+  std::deque<Key> queue;
   // Parenthood for witness reconstruction: predecessor key, description,
   // and the structured tick content.
   struct Parenthood {
-    std::string from;
+    Key from;
     std::string action;
     WitnessTick tick;
   };
-  std::unordered_map<std::string, Parenthood> parent;
+  std::unordered_map<Key, Parenthood, KeyHash> parent;
 
-  const State initial(napps);
-  const std::string init_key = encode(initial);
+  const State initial{};
+  const Key init_key = encode(initial, napps);
   visited.insert(init_key);
   queue.push_back(init_key);
 
-  auto emit = [&](const State& next, const std::string& from,
+  auto emit = [&](const State& next, const Key& from,
                   const std::string& action, WitnessTick tick) {
-    std::string key = encode(next);
-    if (!visited.insert(key).second) return;
+    const Key key = encode(next, napps);
+    if (!visited.insert(key)) return;
     if (options.want_witness)
       parent.emplace(key, Parenthood{from, action, std::move(tick)});
-    queue.push_back(std::move(key));
+    queue.push_back(key);
   };
 
-  auto build_witness = [&](const std::string& leaf_key,
+  auto build_witness = [&](const Key& leaf_key,
                            const std::string& final_action) {
     std::vector<std::string> steps{final_action};
-    std::string cur = leaf_key;
+    Key cur = leaf_key;
     while (cur != init_key) {
       const auto it = parent.find(cur);
       if (it == parent.end()) break;
@@ -116,12 +212,12 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
   };
 
   while (!queue.empty()) {
-    std::string cur_key;
+    Key cur_key;
     if (options.depth_first) {
-      cur_key = std::move(queue.back());
+      cur_key = queue.back();
       queue.pop_back();
     } else {
-      cur_key = std::move(queue.front());
+      cur_key = queue.front();
       queue.pop_front();
     }
     ++verdict.states_explored;
@@ -181,10 +277,15 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
       steady.push_back(i);
     }
 
+    // Witness bookkeeping (action strings, tick contents) is only
+    // materialized when requested: it costs a handful of heap allocations
+    // per successor, which dominates the safe-verdict hot path otherwise.
+    const bool record = options.want_witness;
     const size_t subsets = size_t{1} << steady.size();
     for (size_t mask = 0; mask < subsets; ++mask) {
       State s = base;
-      std::string action = "tick";
+      std::string action;
+      if (record) action = "tick";
       WitnessTick tick;
       for (size_t b = 0; b < steady.size(); ++b) {
         if (!(mask & (size_t{1} << b))) continue;
@@ -192,8 +293,10 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
         a.loc = kWait;
         a.elapsed = 0;
         if (bounded) ++a.dist_count;
-        action += " disturb(" + apps_[steady[b]].name + ")";
-        tick.disturbed.push_back(static_cast<int>(steady[b]));
+        if (record) {
+          action += " disturb(" + apps_[steady[b]].name + ")";
+          tick.disturbed.push_back(static_cast<int>(steady[b]));
+        }
       }
 
       // ---- Phase 3: slot occupant bookkeeping. --------------------------
@@ -217,7 +320,8 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
           a.loc = kSafe;
         }
         a.wt_grant = 0;
-        action += std::string(" ") + why + "(" + apps_[i].name + ")";
+        if (record)
+          action += std::string(" ") + why + "(" + apps_[i].name + ")";
       };
       if (occupant >= 0) {
         const AppState& o = s[static_cast<size_t>(occupant)];
@@ -266,12 +370,16 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
             State granted = s;
             granted[c].loc = kTt;
             granted[c].wt_grant = granted[c].elapsed;
-            WitnessTick grant_tick = tick;
-            grant_tick.granted = static_cast<int>(c);
-            emit(granted, cur_key,
-                 action + " grant(" + apps_[c].name +
-                     ",Tw=" + std::to_string(granted[c].elapsed) + ")",
-                 std::move(grant_tick));
+            if (record) {
+              WitnessTick grant_tick = tick;
+              grant_tick.granted = static_cast<int>(c);
+              emit(granted, cur_key,
+                   action + " grant(" + apps_[c].name +
+                       ",Tw=" + std::to_string(granted[c].elapsed) + ")",
+                   std::move(grant_tick));
+            } else {
+              emit(granted, cur_key, action, {});
+            }
           }
           continue;  // grant branches cover this subset
         }

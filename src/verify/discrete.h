@@ -11,6 +11,7 @@
 // are cross-checked in tests.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,15 @@ struct WitnessTick {
   int granted = -1;
 };
 
+[[nodiscard]] inline bool operator==(const WitnessTick& a,
+                                     const WitnessTick& b) {
+  return a.disturbed == b.disturbed && a.granted == b.granted;
+}
+[[nodiscard]] inline bool operator!=(const WitnessTick& a,
+                                     const WitnessTick& b) {
+  return !(a == b);
+}
+
 /// Verdict of a slot-sharing verification.
 struct SlotVerdict {
   bool safe = false;
@@ -45,12 +55,31 @@ struct SlotVerdict {
   int violator = -1;
 };
 
+/// Full structural equality — used by the memoized oracle layer's tests to
+/// assert that a cached verdict is indistinguishable from a fresh one.
+[[nodiscard]] inline bool operator==(const SlotVerdict& a,
+                                     const SlotVerdict& b) {
+  return a.safe == b.safe && a.states_explored == b.states_explored &&
+         a.witness == b.witness && a.witness_ticks == b.witness_ticks &&
+         a.violator == b.violator;
+}
+[[nodiscard]] inline bool operator!=(const SlotVerdict& a,
+                                     const SlotVerdict& b) {
+  return !(a == b);
+}
+
 /// Exhaustive discrete-time verifier for a set of applications sharing one
 /// TT slot under the paper's strategy: EDF-like arbitration on deadline
 /// T*w - Tw, non-preemptive until T-dw(Tw), preemptable in
 /// [T-dw, T+dw), evicted at T+dw.
 class DiscreteVerifier {
  public:
+  /// Hard cap on applications sharing one slot: the BFS packs a state into
+  /// a fixed 3-bytes-per-app key (no heap traffic on the hot path), and
+  /// exploring 2^napps disturbance subsets per state is intractable far
+  /// below this bound anyway.
+  static constexpr std::size_t kMaxApps = 16;
+
   struct Options {
     /// Cap on disturbance instances per application; < 0 explores the full
     /// sporadic behaviour (paper Sec. 5 "comments on verification time"

@@ -330,6 +330,30 @@ TEST(Simulation, ScheduleEquivalentToPattern) {
   for (size_t k = 0; k < a.size(); ++k) EXPECT_NEAR(a[k].y, b[k].y, 1e-12);
 }
 
+TEST(Simulation, FastSettlingPathBitIdenticalToTraceScan) {
+  // settling_of_pattern runs on flattened dynamics; it must agree exactly
+  // (not approximately) with scanning the materialized Trace, for every
+  // app and a grid of patterns including the degenerate ones.
+  for (const casestudy::App& app : casestudy::all_apps()) {
+    const SwitchedLoop loop(app.plant, app.kt, app.ke);
+    const SettlingSpec spec{kSettlingTol, 600};
+    for (int wait : {0, 1, 3, 7, 20}) {
+      for (int dwell : {0, 1, 2, 5, 11}) {
+        const auto via_trace = settling_samples(
+            loop.simulate_pattern(wait, dwell, spec), spec.abs_tol);
+        const auto fast = loop.settling_of_pattern(wait, dwell, spec);
+        EXPECT_EQ(fast, via_trace)
+            << app.name << " wait=" << wait << " dwell=" << dwell;
+      }
+    }
+    // Full-horizon TT pattern (wait + dwell == horizon boundary).
+    const SettlingSpec tight{kSettlingTol, 64};
+    EXPECT_EQ(loop.settling_of_pattern(0, 64, tight),
+              settling_samples(loop.simulate_pattern(0, 64, tight),
+                               tight.abs_tol));
+  }
+}
+
 TEST(Simulation, MoreDwellNeverWorseForStablePair) {
   // With a switching-stable pair, growing the TT dwell cannot increase the
   // settling time by more than jitter; specifically the minimum over all

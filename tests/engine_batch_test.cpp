@@ -12,6 +12,7 @@
 #include "casestudy/apps.h"
 #include "engine/batch_runner.h"
 #include "engine/fingerprint.h"
+#include "engine/oracle/verdict_cache.h"
 #include "gtest/gtest.h"
 
 namespace ttdim::engine {
@@ -109,6 +110,55 @@ TEST(BatchRunner, FailingJobIsolatedFromTheBatch) {
 
 TEST(BatchRunner, EmptyBatch) {
   EXPECT_TRUE(BatchRunner(4).solve_all({}).empty());
+}
+
+TEST(BatchRunner, MemoizedAndUncachedSolvesFingerprintIdentically) {
+  std::vector<BatchJob> cached_jobs = small_batch();
+  std::vector<BatchJob> uncached_jobs = small_batch();
+  for (BatchJob& job : uncached_jobs) job.options.memoize_admission = false;
+  const std::vector<BatchOutcome> cached = BatchRunner(2).solve_all(cached_jobs);
+  const std::vector<BatchOutcome> uncached =
+      BatchRunner(2).solve_all(uncached_jobs);
+  for (size_t i = 0; i < cached.size(); ++i) {
+    ASSERT_TRUE(cached[i].ok()) << cached[i].error;
+    ASSERT_TRUE(uncached[i].ok()) << uncached[i].error;
+    EXPECT_EQ(fingerprint(*cached[i].solution),
+              fingerprint(*uncached[i].solution))
+        << "job " << i;
+    // The memoized path really went through the oracle layer...
+    EXPECT_GT(cached[i].solution->stats.oracle_calls, 0);
+    // ...and the uncached path proved every query fresh.
+    EXPECT_EQ(uncached[i].solution->stats.cache_hits, 0);
+  }
+}
+
+TEST(BatchRunner, SharedVerdictCacheReusesProofsAcrossJobs) {
+  // All four jobs differ only in min_interarrival of one app; their
+  // admission queries differ, so cross-job hits require duplicating jobs.
+  std::vector<BatchJob> jobs = small_batch();
+  const std::vector<BatchJob> copy = small_batch();
+  jobs.insert(jobs.end(), copy.begin(), copy.end());
+  const auto cache = std::make_shared<oracle::VerdictCache>();
+  for (BatchJob& job : jobs) job.options.verdict_cache = cache;
+
+  const std::vector<BatchOutcome> outcomes = BatchRunner(1).solve_all(jobs);
+  long hits = 0;
+  for (const BatchOutcome& outcome : outcomes) {
+    ASSERT_TRUE(outcome.ok()) << outcome.error;
+    hits += outcome.solution->stats.cache_hits;
+  }
+  // The second half of the batch repeats the first half's queries
+  // verbatim: every one of its oracle calls must be a cache hit.
+  long second_half_calls = 0;
+  for (size_t i = copy.size(); i < jobs.size(); ++i)
+    second_half_calls += outcomes[i].solution->stats.oracle_calls;
+  EXPECT_EQ(hits, second_half_calls);
+  EXPECT_EQ(cache->stats().evictions, 0);
+
+  // Identical inputs, identical outputs — warm cache included.
+  for (size_t i = 0; i < copy.size(); ++i)
+    EXPECT_EQ(fingerprint(*outcomes[i].solution),
+              fingerprint(*outcomes[i + copy.size()].solution));
 }
 
 }  // namespace
