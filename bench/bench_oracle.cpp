@@ -1,6 +1,7 @@
-// The memoized admission-oracle layer: end-to-end case-study solve time
-// (the ROADMAP's intra-solve hot path) with and without memoization, the
-// warm-shared-cache regime of a batch/serve process, and a CPU
+// The admission-oracle layer: end-to-end case-study solve time (the
+// ROADMAP's intra-solve hot path) across the oracle tiers — from-scratch
+// reference, cold three-tier solve, warm shared verdict cache (exact
+// hits), warm shared snapshot cache (prefix hits) — plus a CPU
 // calibration loop that lets scripts/check_bench_regression.py normalize
 // solve times across machines of different speed.
 #include <cstdio>
@@ -9,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/dimensioning.h"
+#include "engine/oracle/snapshot_cache.h"
 #include "engine/oracle/verdict_cache.h"
 
 namespace {
@@ -24,13 +26,17 @@ std::vector<core::AppSpec> case_study_specs() {
 }
 
 void report() {
-  std::printf("==== Memoized admission oracle: case-study solve ====\n");
+  std::printf("==== Incremental admission oracle: case-study solve ====\n");
   const std::vector<core::AppSpec> specs = case_study_specs();
 
-  core::SolveOptions uncached;
-  uncached.memoize_admission = false;
-  const core::Solution cold = core::solve(specs, uncached);
-  std::printf("uncached : %s\n", cold.stats.summary().c_str());
+  core::SolveOptions reference;
+  reference.memoize_admission = false;
+  reference.incremental_admission = false;
+  const core::Solution scratch = core::solve(specs, reference);
+  std::printf("scratch  : %s\n", scratch.stats.summary().c_str());
+
+  const core::Solution cold = core::solve(specs);  // private caches
+  std::printf("cold     : %s\n", cold.stats.summary().c_str());
 
   const auto cache = std::make_shared<engine::oracle::VerdictCache>();
   core::SolveOptions memoized;
@@ -41,8 +47,22 @@ void report() {
   std::printf("warm     : %s\n", warm.stats.summary().c_str());
   const auto stats = cache->stats();
   std::printf("cache    : %ld hits, %ld misses, %ld insertions, "
-              "%ld evictions\n\n",
+              "%ld evictions\n",
               stats.hits, stats.misses, stats.insertions, stats.evictions);
+
+  // Prefix-hit regime: snapshots shared across solves, verdict caches
+  // private — every probe misses the exact tier but extends a snapshot.
+  const auto snapshots = std::make_shared<engine::oracle::SnapshotCache>();
+  core::SolveOptions prefix;
+  prefix.snapshot_cache = snapshots;
+  static_cast<void>(core::solve(specs, prefix));  // warm the snapshots
+  const core::Solution prefix_warm = core::solve(specs, prefix);
+  std::printf("prefix   : %s\n", prefix_warm.stats.summary().c_str());
+  const auto sstats = snapshots->stats();
+  std::printf("snapshots: %ld hits, %ld misses, %ld insertions, "
+              "%ld evictions, %zu entries, %.1f MB\n\n",
+              sstats.hits, sstats.misses, sstats.insertions, sstats.evictions,
+              sstats.entries, static_cast<double>(sstats.bytes) / 1048576.0);
 }
 
 /// Fixed CPU-bound workload, hardware-dependent but input-independent:
@@ -67,9 +87,11 @@ void BM_CaseStudySolve(benchmark::State& state) {
 BENCHMARK(BM_CaseStudySolve)->Unit(benchmark::kMillisecond);
 
 void BM_CaseStudySolveUncached(benchmark::State& state) {
+  // The from-scratch reference: one fresh proof per probe, no tiers.
   const std::vector<core::AppSpec> specs = case_study_specs();
   core::SolveOptions options;
   options.memoize_admission = false;
+  options.incremental_admission = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::solve(specs, options));
   }
@@ -86,6 +108,21 @@ void BM_CaseStudySolveWarmCache(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CaseStudySolveWarmCache)->Unit(benchmark::kMillisecond);
+
+void BM_CaseStudySolvePrefixWarm(benchmark::State& state) {
+  // Tier-2 regime: the snapshot cache is shared across solves but every
+  // verdict cache is private, so each probe misses the exact tier and
+  // either extends a cached prefix reachable set or is refuted by the
+  // bounded depth-first dive.
+  const std::vector<core::AppSpec> specs = case_study_specs();
+  core::SolveOptions options;
+  options.snapshot_cache = std::make_shared<engine::oracle::SnapshotCache>();
+  benchmark::DoNotOptimize(core::solve(specs, options));  // warm the snapshots
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(specs, options));
+  }
+}
+BENCHMARK(BM_CaseStudySolvePrefixWarm)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

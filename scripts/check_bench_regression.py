@@ -25,6 +25,7 @@ GATED = [
     "BM_CaseStudySolve",
     "BM_CaseStudySolveUncached",
     "BM_CaseStudySolveWarmCache",
+    "BM_CaseStudySolvePrefixWarm",
 ]
 CALIBRATION = "BM_Calibration"
 

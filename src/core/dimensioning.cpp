@@ -6,8 +6,9 @@
 #include <optional>
 #include <stdexcept>
 
-#include "engine/oracle/admission_oracle.h"
 #include "engine/oracle/dwell_search.h"
+#include "engine/oracle/incremental_oracle.h"
+#include "engine/oracle/snapshot_cache.h"
 #include "engine/oracle/verdict_cache.h"
 #include "engine/parallel_for.h"
 #include "support/check.h"
@@ -115,14 +116,25 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
     cache = options.verdict_cache
                 ? options.verdict_cache
                 : std::make_shared<engine::oracle::VerdictCache>();
-  const engine::oracle::MemoizedAdmissionOracle oracle(vopt, cache);
+  std::shared_ptr<engine::oracle::SnapshotCache> snapshots;
+  if (options.incremental_admission)
+    snapshots = options.snapshot_cache
+                    ? options.snapshot_cache
+                    : std::make_shared<engine::oracle::SnapshotCache>();
+  // Both caches disabled degrades to the reference one-fresh-proof-per-
+  // probe behaviour, so a single oracle covers the whole option matrix.
+  const engine::oracle::IncrementalAdmissionOracle oracle(vopt, cache,
+                                                          snapshots);
   const auto t_mapping = Clock::now();
   solution.proposed = mapping::first_fit(timings, order, oracle.slot_oracle());
   solution.stats.mapping_ms = ms_since(t_mapping);
   solution.stats.oracle_calls = oracle.calls();
-  solution.stats.cache_hits = oracle.hits();
+  solution.stats.cache_hits = oracle.exact_hits();
   solution.stats.cache_misses = oracle.misses();
   solution.stats.verifier_states = oracle.states_explored();
+  solution.stats.prefix_hits = oracle.prefix_hits();
+  solution.stats.states_reused = oracle.states_reused();
+  solution.stats.states_extended = oracle.states_extended();
 
   // ---- Baseline mappings ([9]). -------------------------------------------
   const auto t_baseline = Clock::now();

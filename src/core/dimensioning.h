@@ -22,6 +22,7 @@
 
 namespace ttdim::engine::oracle {
 class VerdictCache;
+class SnapshotCache;
 }  // namespace ttdim::engine::oracle
 
 namespace ttdim::core {
@@ -49,14 +50,28 @@ struct SolveOptions {
   /// runtime must then use): the paper's strategy or the slack-aware
   /// extension (verify/policy.h).
   verify::SlotPolicy policy = verify::SlotPolicy::kPaper;
-  /// Route admission queries through the memoized oracle layer
-  /// (engine/oracle). The dimensioning result is byte-identical either
-  /// way; disabling reverts to one fresh DiscreteVerifier run per
-  /// first-fit probe (the reference path the cache is tested against).
+  /// Enable the exact-verdict tier of the admission oracle
+  /// (engine/oracle): first-fit probes answered from a VerdictCache of
+  /// canonical slot configurations. The dimensioning result is
+  /// byte-identical either way. Note this controls only that tier —
+  /// reverting to the reference one-fresh-DiscreteVerifier-run-per-probe
+  /// path (what caching is tested against) requires also disabling
+  /// incremental_admission below.
   bool memoize_admission = true;
   /// Verdict cache shared across solves (batch jobs, a serve process).
   /// nullptr + memoize_admission gives the solve a private cache.
   std::shared_ptr<engine::oracle::VerdictCache> verdict_cache;
+  /// Prefix-reuse tier of the admission oracle (engine/oracle): when a
+  /// first-fit probe {slot + candidate} misses the verdict cache, the
+  /// verifier extends the cached reachable-set snapshot of the {slot}
+  /// prefix instead of re-proving it from scratch. The dimensioning
+  /// result is byte-identical either way (the incremental search visits
+  /// exactly the same reachable set); disabling reverts admission to the
+  /// PR-2 two-tier oracle.
+  bool incremental_admission = true;
+  /// Snapshot cache shared across solves, like verdict_cache. nullptr +
+  /// incremental_admission gives the solve a private cache.
+  std::shared_ptr<engine::oracle::SnapshotCache> snapshot_cache;
   /// Thread budget of the per-application analysis phase (stability +
   /// dwell tables) and of the dwell-row search: 1 = serial (default),
   /// 0 = hardware concurrency. Results are independent of this value.

@@ -1,10 +1,14 @@
-// The memoized admission oracle: the layer between the mapping walks
-// (mapping::first_fit / best_fit, core::solve) and verify::DiscreteVerifier.
-// Every admission query is canonicalized to a SlotConfigKey and answered
-// from the VerdictCache when possible; only cache misses pay for a
-// reachability proof. Thread-safe: concurrent queries (parallel dwell
-// search, batch jobs sharing one cache) only contend on the cache mutex
-// and on the atomic counters.
+// The memoized admission oracle: every admission query is canonicalized
+// to a SlotConfigKey and answered from the VerdictCache when possible;
+// only cache misses pay for a reachability proof. Thread-safe: concurrent
+// queries (parallel dwell search, batch jobs sharing one cache) only
+// contend on the cache mutex and on the atomic counters.
+//
+// This is the two-tier (exact-hit or fresh-proof) reference layer;
+// core::solve routes probes through the three-tier
+// IncrementalAdmissionOracle (incremental_oracle.h), which keeps this
+// exact-hit tier first and adds prefix-snapshot extension between it and
+// the fresh proof.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,113 @@
+// The incremental admission oracle: the three-tier layer between the
+// mapping walks (mapping::first_fit / best_fit, core::solve) and
+// verify::DiscreteVerifier.
+//
+//   tier 1  exact hit      — the canonical SlotConfigKey is already in the
+//                            VerdictCache (the PR-2 memoized layer);
+//   tier 2  prefix hit     — the probe's ordered prefix {slot} has a
+//                            reachable-set snapshot in the SnapshotCache,
+//                            and the verifier extends that snapshot with
+//                            the appended candidate instead of re-proving
+//                            the prefix from scratch;
+//   tier 3  fresh proof    — full BFS from the initial state.
+//
+// Tiers 2 and 3 capture the snapshot of every *safe* proof, so a slot's
+// population — which is exactly the prefix of every later probe against
+// that slot — is explored at most once per cache lifetime. Admission
+// answers are identical across tiers by construction (discrete.h details
+// the soundness argument); safe verdicts are byte-identical, unsafe ones
+// agree on `safe` but may differ in the violation found, which is why
+// only safe verdicts enter the VerdictCache.
+//
+// Thread-safe like the memoized layer: concurrent queries contend only on
+// the cache mutexes and the atomic counters.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "engine/oracle/slot_config_key.h"
+#include "engine/oracle/snapshot_cache.h"
+#include "engine/oracle/verdict_cache.h"
+#include "mapping/first_fit.h"
+#include "verify/discrete.h"
+
+namespace ttdim::engine::oracle {
+
+class IncrementalAdmissionOracle {
+ public:
+  /// Either cache may be nullptr to disable its tier: (nullptr, nullptr)
+  /// verifies every query fresh (the reference behaviour), (cache,
+  /// nullptr) reproduces the PR-2 memoized oracle exactly, and a shared
+  /// SnapshotCache extends prefix reuse across solves (batch jobs, a
+  /// serve process).
+  IncrementalAdmissionOracle(verify::DiscreteVerifier::Options options,
+                             std::shared_ptr<VerdictCache> verdicts,
+                             std::shared_ptr<SnapshotCache> snapshots);
+
+  /// Full verdict for one slot population. Witness queries
+  /// (options.want_witness) and depth-first traversals bypass both caches
+  /// and verify fresh, exactly like the memoized layer.
+  [[nodiscard]] verify::SlotVerdict verify(
+      const std::vector<verify::AppTiming>& slot_apps) const;
+
+  /// Admission answer (verdict.safe).
+  [[nodiscard]] bool admit(
+      const std::vector<verify::AppTiming>& slot_apps) const;
+
+  /// Adapter for the mapping walks. The returned closure references this
+  /// oracle; it must not outlive it.
+  [[nodiscard]] mapping::SlotOracle slot_oracle() const;
+
+  [[nodiscard]] const std::shared_ptr<VerdictCache>& verdict_cache()
+      const noexcept {
+    return verdicts_;
+  }
+  [[nodiscard]] const std::shared_ptr<SnapshotCache>& snapshot_cache()
+      const noexcept {
+    return snapshots_;
+  }
+  [[nodiscard]] const verify::DiscreteVerifier::Options& options()
+      const noexcept {
+    return options_;
+  }
+
+  // Counters for this oracle instance (shared caches aggregate their own
+  // stats across instances; these stay per-solve).
+  [[nodiscard]] long calls() const noexcept { return calls_.load(); }
+  /// Tier-1 answers served from the VerdictCache.
+  [[nodiscard]] long exact_hits() const noexcept { return exact_hits_.load(); }
+  /// Queries that had to run the verifier (tiers 2 and 3).
+  [[nodiscard]] long misses() const noexcept { return misses_.load(); }
+  /// Tier-2 runs: verifier extended a cached prefix snapshot.
+  [[nodiscard]] long prefix_hits() const noexcept {
+    return prefix_hits_.load();
+  }
+  /// States explored by verifier runs issued through this oracle.
+  [[nodiscard]] long states_explored() const noexcept {
+    return states_.load();
+  }
+  /// States seeded from prefix snapshots instead of being re-derived.
+  [[nodiscard]] long states_reused() const noexcept {
+    return states_reused_.load();
+  }
+  /// States a prefix-seeded run explored beyond its seeds.
+  [[nodiscard]] long states_extended() const noexcept {
+    return states_extended_.load();
+  }
+
+ private:
+  verify::DiscreteVerifier::Options options_;
+  std::shared_ptr<VerdictCache> verdicts_;
+  std::shared_ptr<SnapshotCache> snapshots_;
+  mutable std::atomic<long> calls_{0};
+  mutable std::atomic<long> exact_hits_{0};
+  mutable std::atomic<long> misses_{0};
+  mutable std::atomic<long> prefix_hits_{0};
+  mutable std::atomic<long> states_{0};
+  mutable std::atomic<long> states_reused_{0};
+  mutable std::atomic<long> states_extended_{0};
+};
+
+}  // namespace ttdim::engine::oracle

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/check.h"
+
 namespace ttdim::engine::oracle {
 
 namespace {
@@ -25,18 +27,15 @@ std::string serialize_app(const verify::AppTiming& app) {
 
 }  // namespace
 
-SlotConfigKey SlotConfigKey::of(
-    const std::vector<verify::AppTiming>& apps,
-    const verify::DiscreteVerifier::Options& options) {
-  std::vector<std::string> parts;
-  parts.reserve(apps.size());
-  for (const verify::AppTiming& app : apps) parts.push_back(serialize_app(app));
-  std::sort(parts.begin(), parts.end());
+namespace {
 
+SlotConfigKey assemble(std::vector<std::string> parts, const char* tag,
+                       const verify::DiscreteVerifier::Options& options) {
   SlotConfigKey key;
-  std::size_t total = 16;
+  std::size_t total = 24;
   for (const std::string& p : parts) total += p.size() + 1;
   key.canonical.reserve(total);
+  key.canonical += tag;
   for (const std::string& p : parts) {
     key.canonical += p;
     key.canonical += ';';
@@ -57,6 +56,30 @@ SlotConfigKey SlotConfigKey::of(
   }
   key.hash = h;
   return key;
+}
+
+}  // namespace
+
+SlotConfigKey SlotConfigKey::of(
+    const std::vector<verify::AppTiming>& apps,
+    const verify::DiscreteVerifier::Options& options) {
+  std::vector<std::string> parts;
+  parts.reserve(apps.size());
+  for (const verify::AppTiming& app : apps) parts.push_back(serialize_app(app));
+  std::sort(parts.begin(), parts.end());
+  return assemble(std::move(parts), "", options);
+}
+
+SlotConfigKey SlotConfigKey::prefix_of(
+    const std::vector<verify::AppTiming>& apps, std::size_t prefix_len,
+    const verify::DiscreteVerifier::Options& options) {
+  TTDIM_EXPECTS(prefix_len >= 1 && prefix_len <= apps.size());
+  std::vector<std::string> parts;
+  parts.reserve(prefix_len);
+  for (std::size_t i = 0; i < prefix_len; ++i)
+    parts.push_back(serialize_app(apps[i]));
+  // No sort: byte positions in the snapshot follow member order.
+  return assemble(std::move(parts), "ord:", options);
 }
 
 }  // namespace ttdim::engine::oracle

@@ -34,6 +34,19 @@ struct SlotConfigKey {
       const std::vector<verify::AppTiming>& apps,
       const verify::DiscreteVerifier::Options& options);
 
+  /// Key of the *ordered* prefix apps[0 .. prefix_len): the identity of a
+  /// reachable-set snapshot (engine/oracle/snapshot_cache.h). Unlike the
+  /// canonical set key above, member order is preserved — a snapshot's
+  /// packed records assign byte positions by app index, so it is only
+  /// reusable by a probe whose first prefix_len members match in order.
+  /// First-fit probes are built as "slot members in insertion order +
+  /// candidate appended", which keeps these prefixes stable across the
+  /// whole walk (and across solves sharing a snapshot cache). A distinct
+  /// tag keeps ordered keys from ever colliding with canonical ones.
+  [[nodiscard]] static SlotConfigKey prefix_of(
+      const std::vector<verify::AppTiming>& apps, std::size_t prefix_len,
+      const verify::DiscreteVerifier::Options& options);
+
   friend bool operator==(const SlotConfigKey& a, const SlotConfigKey& b) {
     return a.hash == b.hash && a.canonical == b.canonical;
   }

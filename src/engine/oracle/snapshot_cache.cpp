@@ -1,0 +1,75 @@
+#include "engine/oracle/snapshot_cache.h"
+
+#include "support/check.h"
+
+namespace ttdim::engine::oracle {
+
+SnapshotCache::SnapshotCache(std::size_t byte_budget)
+    : byte_budget_(byte_budget) {
+  TTDIM_EXPECTS(byte_budget >= 1);
+}
+
+std::size_t SnapshotCache::cost_of(const SlotConfigKey& key,
+                                   const verify::ExplorationState& snapshot) {
+  // Records + key string + fixed bookkeeping overhead per entry.
+  return snapshot.packed.capacity() + key.canonical.size() + 128;
+}
+
+std::shared_ptr<const verify::ExplorationState> SnapshotCache::lookup(
+    const SlotConfigKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void SnapshotCache::insert(const SlotConfigKey& key,
+                           verify::ExplorationState snapshot) {
+  const std::size_t cost = cost_of(key, snapshot);
+  if (cost > byte_budget_) return;  // would evict everything for one entry
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (index_.find(key) != index_.end()) return;  // concurrent-miss duplicate
+  lru_.emplace_front(
+      key, std::make_shared<const verify::ExplorationState>(std::move(snapshot)));
+  index_.emplace(key, lru_.begin());
+  bytes_ += cost;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  while (bytes_ > byte_budget_ && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= cost_of(victim.first, *victim.second);
+    index_.erase(victim.first);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SnapshotCacheStats SnapshotCache::stats() const {
+  SnapshotCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.entries = lru_.size();
+  out.bytes = bytes_;
+  out.byte_budget = byte_budget_;
+  return out;
+}
+
+void SnapshotCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ttdim::engine::oracle

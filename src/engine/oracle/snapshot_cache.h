@@ -1,0 +1,80 @@
+// Thread-safe LRU cache of completed reachable-set snapshots
+// (verify::ExplorationState), keyed by the *ordered* prefix key
+// SlotConfigKey::prefix_of. This is the middle tier of the incremental
+// admission oracle: when a first-fit probe {slot + candidate} misses the
+// exact-verdict cache, the snapshot of the {slot} prefix seeds the
+// verifier instead of re-proving the prefix from scratch.
+//
+// Snapshots are byte-heavy (3 bytes x apps x reachable states — the big
+// case-study probe is ~17 MB), so the cache is bounded by a byte budget
+// rather than an entry count, and entries are handed out as
+// shared_ptr<const ...> so an eviction never invalidates a reader.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/oracle/slot_config_key.h"
+#include "verify/discrete.h"
+
+namespace ttdim::engine::oracle {
+
+/// Monotonic counters (each individually atomic; see VerdictCache's
+/// CacheStats for the snapshot semantics).
+struct SnapshotCacheStats {
+  long hits = 0;
+  long misses = 0;
+  long insertions = 0;
+  long evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t byte_budget = 0;
+};
+
+class SnapshotCache {
+ public:
+  /// Default byte budget: generous enough to keep every prefix of a
+  /// handful of concurrent case-study-sized walks resident.
+  static constexpr std::size_t kDefaultByteBudget = 256u << 20;
+
+  explicit SnapshotCache(std::size_t byte_budget = kDefaultByteBudget);
+
+  /// Returns the snapshot and refreshes its recency; nullptr on miss.
+  [[nodiscard]] std::shared_ptr<const verify::ExplorationState> lookup(
+      const SlotConfigKey& key);
+
+  /// Inserts (no-op when the key is already present — snapshots for one
+  /// key are interchangeable), evicting least-recently-used entries until
+  /// the byte budget holds. A snapshot larger than the whole budget is
+  /// dropped rather than inserted.
+  void insert(const SlotConfigKey& key, verify::ExplorationState snapshot);
+
+  [[nodiscard]] SnapshotCacheStats stats() const;
+  void clear();
+
+ private:
+  using Entry =
+      std::pair<SlotConfigKey, std::shared_ptr<const verify::ExplorationState>>;
+
+  static std::size_t cost_of(const SlotConfigKey& key,
+                             const verify::ExplorationState& snapshot);
+
+  mutable std::mutex mutex_;
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;  ///< guarded by mutex_
+  std::list<Entry> lru_;   ///< front = most recently used
+  std::unordered_map<SlotConfigKey, std::list<Entry>::iterator,
+                     SlotConfigKeyHash>
+      index_;
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+  std::atomic<long> insertions_{0};
+  std::atomic<long> evictions_{0};
+};
+
+}  // namespace ttdim::engine::oracle

@@ -6,13 +6,14 @@
 namespace ttdim::engine::oracle {
 
 std::string SolveStats::summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "total %.1f ms (stability %.1f, dwell %.1f, mapping %.1f, "
                 "baseline %.1f) | oracle %ld calls, %ld hits, %ld misses, "
-                "%ld states",
+                "%ld states | prefix %ld hits, %ld reused, %ld extended",
                 total_ms, stability_ms, dwell_ms, mapping_ms, baseline_ms,
-                oracle_calls, cache_hits, cache_misses, verifier_states);
+                oracle_calls, cache_hits, cache_misses, verifier_states,
+                prefix_hits, states_reused, states_extended);
   return buf;
 }
 
@@ -27,6 +28,9 @@ SolveStats operator+(const SolveStats& a, const SolveStats& b) {
   out.cache_hits = a.cache_hits + b.cache_hits;
   out.cache_misses = a.cache_misses + b.cache_misses;
   out.verifier_states = a.verifier_states + b.verifier_states;
+  out.prefix_hits = a.prefix_hits + b.prefix_hits;
+  out.states_reused = a.states_reused + b.states_reused;
+  out.states_extended = a.states_extended + b.states_extended;
   out.analysis_threads = std::max(a.analysis_threads, b.analysis_threads);
   return out;
 }

@@ -22,11 +22,17 @@ struct SolveStats {
   double total_ms = 0.0;
 
   // Admission-oracle counters (proposed mapping only; the baselines use
-  // the closed-form [9] analysis, not the verifier).
+  // the closed-form [9] analysis, not the verifier). The three tiers of
+  // the incremental oracle report as: cache_hits (tier 1, exact verdict),
+  // prefix_hits (tier 2, extended a cached reachable-set snapshot), and
+  // the remainder of cache_misses (tier 3, proved from scratch).
   long oracle_calls = 0;      ///< admission queries posed by the walk
   long cache_hits = 0;        ///< answered from the VerdictCache
-  long cache_misses = 0;      ///< required a fresh DiscreteVerifier run
-  long verifier_states = 0;   ///< states explored by fresh runs
+  long cache_misses = 0;      ///< required a DiscreteVerifier run
+  long verifier_states = 0;   ///< states explored by verifier runs
+  long prefix_hits = 0;       ///< runs seeded from a prefix snapshot
+  long states_reused = 0;     ///< states seeded instead of re-derived
+  long states_extended = 0;   ///< states explored beyond the seeds
 
   int analysis_threads = 1;   ///< thread budget of the per-app phase
 

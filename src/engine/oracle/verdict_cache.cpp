@@ -6,7 +6,6 @@ namespace ttdim::engine::oracle {
 
 VerdictCache::VerdictCache(std::size_t capacity) : capacity_(capacity) {
   TTDIM_EXPECTS(capacity >= 1);
-  stats_.capacity = capacity;
 }
 
 std::optional<verify::SlotVerdict> VerdictCache::lookup(
@@ -14,10 +13,10 @@ std::optional<verify::SlotVerdict> VerdictCache::lookup(
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++stats_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->second;
 }
@@ -28,18 +27,23 @@ void VerdictCache::insert(const SlotConfigKey& key,
   if (index_.find(key) != index_.end()) return;  // concurrent-miss duplicate
   lru_.emplace_front(key, std::move(verdict));
   index_.emplace(key, lru_.begin());
-  ++stats_.insertions;
+  insertions_.fetch_add(1, std::memory_order_relaxed);
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
+  size_.store(lru_.size(), std::memory_order_relaxed);
 }
 
 CacheStats VerdictCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  CacheStats out = stats_;
-  out.size = lru_.size();
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.size = size_.load(std::memory_order_relaxed);
+  out.capacity = capacity_;
   return out;
 }
 
@@ -47,8 +51,11 @@ void VerdictCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
-  stats_ = CacheStats{};
-  stats_.capacity = capacity_;
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  size_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ttdim::engine::oracle

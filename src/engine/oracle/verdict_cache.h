@@ -4,6 +4,7 @@
 // process — the further it is shared, the more re-proofs it absorbs.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <mutex>
@@ -16,7 +17,13 @@
 
 namespace ttdim::engine::oracle {
 
-/// Monotonic cache counters (snapshot; taken under the cache lock).
+/// Monotonic cache counters. Each field is read from its own atomic, so a
+/// snapshot taken while other threads hit the cache (SolveStats
+/// aggregation over a batch sharing one cache, bench reporting loops) is
+/// tear-free per counter without taking the cache lock; the fields of one
+/// snapshot may straddle in-flight operations (hits + misses can briefly
+/// disagree with a concurrently counted lookup total by the operations
+/// still inside the lock).
 struct CacheStats {
   long hits = 0;
   long misses = 0;
@@ -58,7 +65,14 @@ class VerdictCache {
   std::unordered_map<SlotConfigKey, std::list<Entry>::iterator,
                      SlotConfigKeyHash>
       index_;
-  CacheStats stats_;
+  // Counters live outside the mutex so stats() is a lock-free atomic
+  // snapshot even while batch jobs hammer the cache (the map and LRU list
+  // stay mutex-guarded).
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+  std::atomic<long> insertions_{0};
+  std::atomic<long> evictions_{0};
+  std::atomic<std::size_t> size_{0};
 };
 
 }  // namespace ttdim::engine::oracle

@@ -65,9 +65,9 @@ class ScenarioGenerator {
   }
 
  private:
-  /// Tail room after the last arrival so every episode can finish: the
-  /// largest wait budget plus the largest dwell, plus one slack tick.
-  [[nodiscard]] int tail_room() const;
+  /// Seals a disturbance table into a Scenario whose horizon covers every
+  /// instance's full episode: each arrival t needs [t, t + T*w + max
+  /// T+dw] simulated (its own app's window), plus one slack tick.
   [[nodiscard]] sched::Scenario finalize(
       std::vector<std::vector<int>> disturbances) const;
 

@@ -15,8 +15,13 @@ using verify::AppTiming;
 
 /// Admission oracle: can this set of applications share one slot? When the
 /// answer comes from the model checker, route it through
-/// engine::oracle::MemoizedAdmissionOracle (core::solve does) so repeated
-/// probes — across slots, walks and batch jobs — are proved once.
+/// engine::oracle::IncrementalAdmissionOracle (core::solve does) so
+/// repeated probes — across slots, walks and batch jobs — are proved once
+/// and chained probes {slot}, {slot + candidate} extend the prefix's
+/// cached reachable set instead of re-proving it. The walk below builds
+/// every probe as "slot members in insertion order + candidate appended",
+/// which is exactly the prefix stability that tier depends on
+/// (SlotConfigKey::prefix_of).
 using SlotOracle =
     std::function<bool(const std::vector<AppTiming>& slot_apps)>;
 

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <bitset>
 #include <cstring>
-#include <deque>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "support/check.h"
 
@@ -26,40 +26,81 @@ struct AppState {
   uint8_t dist_count = 0;
 };
 
-/// Stack-allocated state vector: the BFS copies states for every
-/// disturbance subset and grant branch, so heap-backed storage here is the
-/// difference between ~10 and ~100+ bytes of allocator traffic per emitted
-/// successor.
-using State = std::array<AppState, DiscreteVerifier::kMaxApps>;
+constexpr size_t round8(size_t n) { return (n + 7) & ~size_t{7}; }
 
-/// Dedup key: three bytes per application (mode and disturbance budget
-/// share a byte), zero-padded to the fixed capacity so hashing and
-/// equality never touch the heap. The BFS stores millions of these.
-struct Key {
-  std::array<uint8_t, 3 * DiscreteVerifier::kMaxApps> bytes{};
-  uint8_t len = 0;
+/// Fixed-capacity dedup key: three bytes per application (mode and
+/// disturbance budget share a byte), zero-padded to the capacity so
+/// hashing reads whole 8-byte words without touching the heap. Two
+/// capacities are instantiated: 16 bytes covers up to 5 applications (the
+/// hot mapping-walk probes — halving the key keeps the visited table and
+/// queue cache-resident far longer), 48 bytes covers the full packed cap
+/// of DiscreteVerifier::kMaxApps.
+template <size_t Cap>
+struct SmallKey {
+  static_assert(Cap % 8 == 0, "hashing reads whole 8-byte words");
+  std::array<uint8_t, Cap> bytes{};
+  uint8_t len = 0;  ///< 0 marks an empty visited-table slot
 
-  friend bool operator==(const Key& a, const Key& b) {
+  /// Small capacities hash the whole (zero-padded) array: the trip count
+  /// becomes a compile-time constant and padded words mix in nothing but
+  /// zeros. Larger capacities hash only the occupied words.
+  static constexpr size_t kFixedHashSpan = Cap <= 16 ? Cap : 0;
+
+  [[nodiscard]] const uint8_t* data() const noexcept { return bytes.data(); }
+  [[nodiscard]] uint8_t* data() noexcept { return bytes.data(); }
+  [[nodiscard]] bool empty() const noexcept { return len == 0; }
+
+  friend bool operator==(const SmallKey& a, const SmallKey& b) {
+    // Fixed-size compare inlines to a couple of word compares; the
+    // padding beyond len is zero on both sides, so it never flips the
+    // answer for keys of equal length (all keys of one run share len).
     return a.len == b.len &&
-           std::memcmp(a.bytes.data(), b.bytes.data(), a.len) == 0;
+           std::memcmp(a.bytes.data(), b.bytes.data(), Cap) == 0;
   }
-  friend bool operator!=(const Key& a, const Key& b) { return !(a == b); }
+  friend bool operator!=(const SmallKey& a, const SmallKey& b) {
+    return !(a == b);
+  }
 };
 
-/// Word-at-a-time mix over the zero-padded key (splitmix-style). The
-/// trailing zero padding is identical for all keys of one run, so hashing
-/// the full fixed capacity is both branch-free and collision-neutral.
-struct KeyHash {
-  // The word loop below reads the byte array in full 8-byte strides.
-  static_assert(sizeof(Key{}.bytes) % 8 == 0,
-                "3 * kMaxApps must be a multiple of 8 or the last memcpy "
-                "would read into the len field and padding");
+/// Heap-backed key for populations beyond the packed cap (> kMaxApps
+/// applications): same 3-bytes-per-app layout, storage rounded up to whole
+/// words and zero-padded so the shared hash loop applies unchanged. This
+/// is the compatibility fallback — per-state allocation is acceptable
+/// because the disturbance branching dominates long before key traffic
+/// does at such sizes.
+struct HeapKey {
+  std::vector<uint8_t> bytes;  ///< size == round8(len), zero-padded
+  uint16_t len = 0;
 
+  static constexpr size_t kFixedHashSpan = 0;  ///< length-bounded hashing
+
+  [[nodiscard]] const uint8_t* data() const noexcept { return bytes.data(); }
+  [[nodiscard]] uint8_t* data() noexcept { return bytes.data(); }
+  [[nodiscard]] bool empty() const noexcept { return len == 0; }
+
+  friend bool operator==(const HeapKey& a, const HeapKey& b) {
+    return a.len == b.len && a.bytes == b.bytes;
+  }
+  friend bool operator!=(const HeapKey& a, const HeapKey& b) {
+    return !(a == b);
+  }
+};
+
+/// Word-at-a-time mix (splitmix-style) over the zero-padded key, bounded
+/// by the words the key actually occupies — all keys of one run share a
+/// length, so the trailing zero padding inside the last word is
+/// collision-neutral and the loop trip count is minimal.
+template <typename Key>
+struct KeyHash {
   size_t operator()(const Key& k) const noexcept {
     uint64_t h = 0x9E3779B97F4A7C15ull ^ k.len;
-    for (size_t off = 0; off < k.bytes.size(); off += 8) {
+    const uint8_t* data = k.data();
+    const size_t words = Key::kFixedHashSpan != 0
+                             ? Key::kFixedHashSpan  // constant trip count
+                             : round8(k.len);
+    for (size_t off = 0; off < words; off += 8) {
       uint64_t w;
-      std::memcpy(&w, k.bytes.data() + off, 8);
+      std::memcpy(&w, data + off, 8);
       h = (h ^ w) * 0xFF51AFD7ED558CCDull;
       h ^= h >> 29;
     }
@@ -67,110 +108,147 @@ struct KeyHash {
   }
 };
 
-/// Open-addressing visited set: linear probing over flat (hash, key) slots.
-/// The BFS performs tens of millions of membership-or-insert operations;
-/// node-based std::unordered_set spends more time in the allocator and on
-/// pointer chases than the whole rest of the search.
+/// Open-addressing visited set: linear probing over flat key slots
+/// (emptiness is the key's own len == 0 marker, so a slot carries no
+/// metadata beyond the key bytes — at 17 bytes per 5-app slot the table
+/// stays several times smaller than a node-based set and the BFS's tens
+/// of millions of membership-or-insert probes stay in cache accordingly).
+template <typename Key>
 class VisitedSet {
  public:
-  VisitedSet() { rehash(1u << 16); }
+  VisitedSet() { rehash(size_t{1} << 16); }
+
+  /// Pre-sizes for `n` expected keys (used when seeding from a prefix
+  /// snapshot whose cardinality is a known lower bound).
+  void reserve(size_t n) {
+    size_t capacity = mask_ + 1;
+    while (capacity - capacity / 4 < n) capacity *= 2;
+    if (capacity > mask_ + 1) rehash(capacity);
+  }
 
   /// True when the key was newly inserted (i.e. not seen before).
   bool insert(const Key& k) {
-    const uint64_t h = KeyHash{}(k) | 1;  // 0 marks an empty slot
-    size_t i = static_cast<size_t>(h) & mask_;
+    size_t i = KeyHash<Key>{}(k)&mask_;
     for (;;) {
-      Slot& s = slots_[i];
-      if (s.hash == 0) {
-        s.hash = h;
-        s.key = k;
+      Key& s = slots_[i];
+      if (s.empty()) {
+        s = k;
         if (++size_ > grow_at_) rehash(2 * (mask_ + 1));
         return true;
       }
-      if (s.hash == h && s.key == k) return false;
+      if (s == k) return false;
       i = (i + 1) & mask_;
     }
   }
 
  private:
-  struct Slot {
-    uint64_t hash = 0;
-    Key key;
-  };
-
   void rehash(size_t capacity) {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(capacity, Slot{});
+    std::vector<Key> old = std::move(slots_);
+    slots_.assign(capacity, Key{});
     mask_ = capacity - 1;
     grow_at_ = capacity - capacity / 4;  // load factor 0.75
-    for (const Slot& s : old) {
-      if (s.hash == 0) continue;
-      size_t i = static_cast<size_t>(s.hash) & mask_;
-      while (slots_[i].hash != 0) i = (i + 1) & mask_;
-      slots_[i] = s;
+    for (Key& k : old) {
+      if (k.empty()) continue;
+      size_t i = KeyHash<Key>{}(k)&mask_;
+      while (!slots_[i].empty()) i = (i + 1) & mask_;
+      slots_[i] = std::move(k);
     }
   }
 
-  std::vector<Slot> slots_;
+  std::vector<Key> slots_;
   size_t mask_ = 0;
   size_t size_ = 0;
   size_t grow_at_ = 0;
 };
 
-Key encode(const State& s, size_t napps) {
-  Key key;
-  key.len = static_cast<uint8_t>(3 * napps);
+/// State-representation policy: the search below is written once against
+/// this shape and instantiated per key capacity.
+template <size_t KeyCap>
+struct PackedShape {
+  using Key = SmallKey<KeyCap>;
+  using State = std::array<AppState, DiscreteVerifier::kMaxApps>;
+  /// Most applications this key capacity can pack (3 bytes per app).
+  static constexpr size_t kKeyApps = KeyCap / 3;
+  static State blank(size_t) { return State{}; }
+  static Key make_key(size_t len) {
+    Key k;
+    k.len = static_cast<uint8_t>(len);
+    return k;
+  }
+};
+
+struct HeapShape {
+  using Key = HeapKey;
+  using State = std::vector<AppState>;
+  static constexpr size_t kKeyApps = DiscreteVerifier::kMaxAppsUnpacked;
+  static State blank(size_t napps) { return State(napps); }
+  static Key make_key(size_t len) {
+    Key k;
+    k.len = static_cast<uint16_t>(len);
+    k.bytes.assign(round8(len), 0);
+    return k;
+  }
+};
+
+template <typename Shape>
+typename Shape::Key encode(const typename Shape::State& s, size_t napps) {
+  TTDIM_EXPECTS(napps <= Shape::kKeyApps);  // dispatch picked this shape
+  typename Shape::Key key = Shape::make_key(3 * napps);
+  uint8_t* b = key.data();
   for (size_t i = 0; i < napps; ++i) {
     const AppState& a = s[i];
-    key.bytes[3 * i] = static_cast<uint8_t>(a.loc | (a.dist_count << 2));
-    key.bytes[3 * i + 1] = a.elapsed;
-    key.bytes[3 * i + 2] = a.wt_grant;
+    b[3 * i] = static_cast<uint8_t>(a.loc | (a.dist_count << 2));
+    b[3 * i + 1] = a.elapsed;
+    b[3 * i + 2] = a.wt_grant;
   }
   return key;
 }
 
-State decode(const Key& key, size_t napps) {
-  State s{};
+template <typename Shape>
+void decode(const typename Shape::Key& key, size_t napps,
+            typename Shape::State& s) {
+  TTDIM_EXPECTS(napps <= Shape::kKeyApps);
+  const uint8_t* b = key.data();
   for (size_t i = 0; i < napps; ++i) {
-    const uint8_t packed = key.bytes[3 * i];
+    const uint8_t packed = b[3 * i];
     s[i].loc = packed & 0x03;
     s[i].dist_count = packed >> 2;
-    s[i].elapsed = key.bytes[3 * i + 1];
-    s[i].wt_grant = key.bytes[3 * i + 2];
-  }
-  return s;
-}
-
-}  // namespace
-
-DiscreteVerifier::DiscreteVerifier(std::vector<AppTiming> apps)
-    : apps_(std::move(apps)) {
-  TTDIM_EXPECTS(!apps_.empty());
-  if (apps_.size() > kMaxApps)
-    throw std::invalid_argument(
-        "DiscreteVerifier: " + std::to_string(apps_.size()) +
-        " applications in one slot exceeds the supported maximum of " +
-        std::to_string(kMaxApps) +
-        " (the search explores 2^napps disturbance subsets per state and "
-        "is intractable long before this bound)");
-  for (const AppTiming& a : apps_) {
-    a.validate();
-    // The packed representation stores counters in bytes.
-    TTDIM_EXPECTS(a.min_interarrival < 250);
-    TTDIM_EXPECTS(a.t_star_w + a.t_plus[static_cast<size_t>(a.t_star_w)] <
-                  250);
+    s[i].elapsed = b[3 * i + 1];
+    s[i].wt_grant = b[3 * i + 2];
   }
 }
 
-SlotVerdict DiscreteVerifier::verify(const Options& options) const {
-  const size_t napps = apps_.size();
+/// Enumerating 2^k disturbance subsets from one state is pointless beyond
+/// this width — a single expansion would dwarf any realistic state budget.
+constexpr size_t kMaxSteadyBranching = 26;
+
+template <typename Shape>
+SlotVerdict run_search(const std::vector<AppTiming>& apps,
+                       const DiscreteVerifier::Options& options,
+                       const ExplorationState* extend_from,
+                       ExplorationState* capture) {
+  using Key = typename Shape::Key;
+  using State = typename Shape::State;
+
+  const size_t napps = apps.size();
+  TTDIM_EXPECTS(napps >= 1 && napps <= Shape::kKeyApps);
   const bool bounded = options.max_disturbances_per_app >= 0;
   // The packed key stores the budget in 6 bits.
   TTDIM_EXPECTS(options.max_disturbances_per_app <= 62);
+  // Prefix extension and snapshot capture rely on the FIFO queue doubling
+  // as the discovery-order log; witnesses would need parenthood for seeds.
+  if (extend_from != nullptr || capture != nullptr) {
+    TTDIM_EXPECTS(!options.depth_first);
+    TTDIM_EXPECTS(!options.want_witness);
+  }
 
   SlotVerdict verdict;
-  VisitedSet visited;
-  std::deque<Key> queue;
+  VisitedSet<Key> visited;
+  // FIFO via a head cursor: in breadth-first mode the vector is never
+  // popped, so after a completed (safe) search it holds every reachable
+  // state in discovery order — exactly the snapshot `capture` wants.
+  std::vector<Key> queue;
+  size_t head = 0;
   // Parenthood for witness reconstruction: predecessor key, description,
   // and the structured tick content.
   struct Parenthood {
@@ -178,20 +256,47 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
     std::string action;
     WitnessTick tick;
   };
-  std::unordered_map<Key, Parenthood, KeyHash> parent;
+  std::unordered_map<Key, Parenthood, KeyHash<Key>> parent;
 
-  const State initial{};
-  const Key init_key = encode(initial, napps);
-  visited.insert(init_key);
-  queue.push_back(init_key);
+  // Number of seeded states; the first `seed_count` pops are exactly the
+  // seeds (FIFO), which is what licenses the subset restriction below.
+  size_t seed_count = 0;
+  size_t prefix_napps = 0;
+  const Key init_key = encode<Shape>(Shape::blank(napps), napps);
+  if (extend_from != nullptr) {
+    const ExplorationState& base = *extend_from;
+    // Soundness invariants of "appending is conservative" (discrete.h):
+    // a strict prefix of this population, at least one record, whole
+    // records only, and the prefix run's own initial state leading the
+    // discovery order (the true initial state must be among the seeds).
+    TTDIM_EXPECTS(base.napps >= 1 && base.napps < napps);
+    const size_t stride = 3 * base.napps;
+    TTDIM_EXPECTS(!base.packed.empty() && base.packed.size() % stride == 0);
+    for (size_t i = 0; i < stride; ++i) TTDIM_EXPECTS(base.packed[i] == 0);
+    prefix_napps = base.napps;
+    seed_count = base.packed.size() / stride;
+    visited.reserve(seed_count);
+    queue.reserve(seed_count);
+    for (size_t r = 0; r < seed_count; ++r) {
+      Key k = Shape::make_key(3 * napps);
+      std::memcpy(k.data(), base.packed.data() + r * stride, stride);
+      // Appended applications start steady == all-zero record bytes, so
+      // zero-extension *is* the embedding of the prefix state.
+      TTDIM_CHECK(visited.insert(k));  // prefix snapshot holds no duplicates
+      queue.push_back(std::move(k));
+    }
+  } else {
+    visited.insert(init_key);
+    queue.push_back(init_key);
+  }
 
   auto emit = [&](const State& next, const Key& from,
                   const std::string& action, WitnessTick tick) {
-    const Key key = encode(next, napps);
+    Key key = encode<Shape>(next, napps);
     if (!visited.insert(key)) return;
     if (options.want_witness)
       parent.emplace(key, Parenthood{from, action, std::move(tick)});
-    queue.push_back(key);
+    queue.push_back(std::move(key));
   };
 
   auto build_witness = [&](const Key& leaf_key,
@@ -211,20 +316,30 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
     return steps;
   };
 
-  while (!queue.empty()) {
+  State base = Shape::blank(napps);
+  State s = Shape::blank(napps);
+  State granted = Shape::blank(napps);
+  std::vector<size_t> steady;
+  std::vector<size_t> candidates;
+
+  while (head < queue.size()) {
     Key cur_key;
     if (options.depth_first) {
-      cur_key = queue.back();
+      cur_key = std::move(queue.back());
       queue.pop_back();
     } else {
-      cur_key = queue.front();
-      queue.pop_front();
+      cur_key = queue[head];  // the vector doubles as the discovery log
+      ++head;
     }
+    // True while this pop re-expands a seeded prefix state (seeds occupy
+    // the front of the FIFO queue, so the pop index identifies them).
+    const bool seed_pop = !options.depth_first && head <= seed_count &&
+                          extend_from != nullptr;
     ++verdict.states_explored;
     if (verdict.states_explored > options.max_states)
       throw std::runtime_error("DiscreteVerifier: state budget exhausted");
 
-    State base = decode(cur_key, napps);
+    decode<Shape>(cur_key, napps, base);
 
     // ---- Phase 1: one sample elapses. -----------------------------------
     std::string phase1_action;
@@ -238,11 +353,11 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
           ++a.elapsed;
           // Clock passed T*w while still waiting: the application automaton
           // reaches Error (paper Fig. 5).
-          if (a.elapsed > apps_[i].t_star_w) {
+          if (a.elapsed > apps[i].t_star_w) {
             error_now = true;
             verdict.violator = static_cast<int>(i);
-            phase1_action = apps_[i].name + " exceeded T*w=" +
-                            std::to_string(apps_[i].t_star_w) +
+            phase1_action = apps[i].name + " exceeded T*w=" +
+                            std::to_string(apps[i].t_star_w) +
                             " while waiting";
           }
           break;
@@ -251,7 +366,7 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
           break;
         case kSafe:
           ++a.elapsed;
-          if (a.elapsed >= apps_[i].min_interarrival) {
+          if (a.elapsed >= apps[i].min_interarrival) {
             a.loc = kSteady;
             a.elapsed = 0;
             a.wt_grant = 0;
@@ -260,14 +375,42 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
       }
     }
     if (error_now) {
+      // A seeded state cannot reach Error in phase 1: the prefix proof
+      // already expanded it without one, and appended (steady) apps never
+      // wait. Anything else would mean the snapshot belongs to different
+      // timings than this prefix.
+      TTDIM_CHECK(!seed_pop);
       verdict.safe = false;
       if (options.want_witness)
         verdict.witness = build_witness(cur_key, phase1_action);
       return verdict;
     }
 
+    // ---- Subset-invariant occupant facts. -------------------------------
+    // A disturbance subset only moves kSteady apps to kWait, so the slot
+    // occupant, its continuous time in the slot and its dwell-row bounds
+    // are identical across all subsets of this pop — hoisted out of the
+    // expansion loop (phase 3 below consumes them).
+    int occupant0 = -1;
+    for (size_t i = 0; i < napps; ++i)
+      if (base[i].loc == kTt) {
+        TTDIM_CHECK(occupant0 < 0);  // single-slot invariant
+        occupant0 = static_cast<int>(i);
+      }
+    int occ_ct = 0, occ_dtm = 0, occ_dtp = 0;
+    if (occupant0 >= 0) {
+      const AppState& o = base[static_cast<size_t>(occupant0)];
+      occ_ct = o.elapsed - o.wt_grant;
+      occ_dtm = apps[static_cast<size_t>(occupant0)].t_minus[o.wt_grant];
+      occ_dtp = apps[static_cast<size_t>(occupant0)].t_plus[o.wt_grant];
+      TTDIM_CHECK(occ_ct >= 0 && occ_ct <= occ_dtp);
+    }
+    size_t base_waiters = 0;
+    for (size_t i = 0; i < napps; ++i)
+      if (base[i].loc == kWait) ++base_waiters;
+
     // ---- Phase 2: nondeterministic disturbance arrivals. ----------------
-    std::vector<size_t> steady;
+    steady.clear();
     for (size_t i = 0; i < napps; ++i) {
       if (base[i].loc != kSteady) continue;
       if (bounded &&
@@ -276,6 +419,23 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
         continue;
       steady.push_back(i);
     }
+    if (steady.size() > kMaxSteadyBranching)
+      throw std::runtime_error(
+          "DiscreteVerifier: disturbance branching too wide (" +
+          std::to_string(steady.size()) +
+          " simultaneously disturbable applications)");
+
+    // Subsets that disturb no appended application map a seeded state to
+    // another seeded state (the prefix is closed under its own
+    // transitions), so re-expanding a seed only needs the branches that
+    // involve an appended app. Skipping the rest emits nothing new by
+    // construction — the skipped successors are already in the visited
+    // set — and leaves the discovery order of genuinely new states
+    // untouched.
+    size_t appended_mask = 0;
+    if (seed_pop)
+      for (size_t b = 0; b < steady.size(); ++b)
+        if (steady[b] >= prefix_napps) appended_mask |= size_t{1} << b;
 
     // Witness bookkeeping (action strings, tick contents) is only
     // materialized when requested: it costs a handful of heap allocations
@@ -283,7 +443,8 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
     const bool record = options.want_witness;
     const size_t subsets = size_t{1} << steady.size();
     for (size_t mask = 0; mask < subsets; ++mask) {
-      State s = base;
+      if (seed_pop && (mask & appended_mask) == 0) continue;
+      s = base;
       std::string action;
       if (record) action = "tick";
       WitnessTick tick;
@@ -294,26 +455,19 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
         a.elapsed = 0;
         if (bounded) ++a.dist_count;
         if (record) {
-          action += " disturb(" + apps_[steady[b]].name + ")";
+          action += " disturb(" + apps[steady[b]].name + ")";
           tick.disturbed.push_back(static_cast<int>(steady[b]));
         }
       }
 
       // ---- Phase 3: slot occupant bookkeeping. --------------------------
-      int occupant = -1;
-      for (size_t i = 0; i < napps; ++i)
-        if (s[i].loc == kTt) {
-          TTDIM_CHECK(occupant < 0);  // single-slot invariant
-          occupant = static_cast<int>(i);
-        }
-      auto any_waiter = [&]() {
-        for (size_t i = 0; i < napps; ++i)
-          if (s[i].loc == kWait) return true;
-        return false;
-      };
+      int occupant = occupant0;
+      // Waiters in s = waiters surviving phase 1 + the just-disturbed.
+      const bool any_waiter =
+          base_waiters + std::bitset<64>(mask).count() > 0;
       auto leave_slot = [&](size_t i, const char* why) {
         AppState& a = s[i];
-        if (a.elapsed >= apps_[i].min_interarrival) {
+        if (a.elapsed >= apps[i].min_interarrival) {
           a.loc = kSteady;
           a.elapsed = 0;
         } else {
@@ -321,27 +475,20 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
         }
         a.wt_grant = 0;
         if (record)
-          action += std::string(" ") + why + "(" + apps_[i].name + ")";
+          action += std::string(" ") + why + "(" + apps[i].name + ")";
       };
       if (occupant >= 0) {
-        const AppState& o = s[static_cast<size_t>(occupant)];
-        const int ct = o.elapsed - o.wt_grant;
-        const int dtm =
-            apps_[static_cast<size_t>(occupant)].t_minus[o.wt_grant];
-        const int dtp =
-            apps_[static_cast<size_t>(occupant)].t_plus[o.wt_grant];
-        TTDIM_CHECK(ct >= 0 && ct <= dtp);
-        if (ct == dtp) {
+        if (occ_ct == occ_dtp) {
           leave_slot(static_cast<size_t>(occupant), "evict");
           occupant = -1;
-        } else if (ct >= dtm && any_waiter()) {
+        } else if (occ_ct >= occ_dtm && any_waiter) {
           bool preempt = true;
           if (options.policy == SlotPolicy::kSlackAware) {
             std::vector<WaiterView> waiters;
             for (size_t i = 0; i < napps; ++i)
               if (s[i].loc == kWait)
                 waiters.push_back({static_cast<int>(i), s[i].elapsed});
-            preempt = !preemption_postponable(apps_, waiters, occupant);
+            preempt = !preemption_postponable(apps, waiters, occupant);
           }
           if (preempt) {
             leave_slot(static_cast<size_t>(occupant), "preempt");
@@ -353,28 +500,29 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
       // ---- Phase 4: grant (EDF on remaining deadline, ties explored). ---
       if (occupant < 0) {
         int best_remaining = INT32_MAX;
-        std::vector<size_t> candidates;
+        candidates.clear();
         for (size_t i = 0; i < napps; ++i) {
           if (s[i].loc != kWait) continue;
-          const int remaining = apps_[i].t_star_w - s[i].elapsed;
+          const int remaining = apps[i].t_star_w - s[i].elapsed;
           TTDIM_CHECK(remaining >= 0);
           if (remaining < best_remaining) {
             best_remaining = remaining;
-            candidates.assign(1, i);
+            candidates.clear();
+            candidates.push_back(i);
           } else if (remaining == best_remaining) {
             candidates.push_back(i);
           }
         }
         if (!candidates.empty()) {
           for (size_t c : candidates) {
-            State granted = s;
+            granted = s;
             granted[c].loc = kTt;
             granted[c].wt_grant = granted[c].elapsed;
             if (record) {
               WitnessTick grant_tick = tick;
               grant_tick.granted = static_cast<int>(c);
               emit(granted, cur_key,
-                   action + " grant(" + apps_[c].name +
+                   action + " grant(" + apps[c].name +
                        ",Tw=" + std::to_string(granted[c].elapsed) + ")",
                    std::move(grant_tick));
             } else {
@@ -389,7 +537,52 @@ SlotVerdict DiscreteVerifier::verify(const Options& options) const {
   }
 
   verdict.safe = true;
+  if (capture != nullptr) {
+    // Safe == exhausted queue == the FIFO log is the full reachable set.
+    capture->napps = napps;
+    capture->packed.clear();
+    capture->packed.reserve(queue.size() * 3 * napps);
+    for (const Key& k : queue)
+      capture->packed.insert(capture->packed.end(), k.data(),
+                             k.data() + 3 * napps);
+  }
   return verdict;
+}
+
+}  // namespace
+
+DiscreteVerifier::DiscreteVerifier(std::vector<AppTiming> apps)
+    : apps_(std::move(apps)) {
+  TTDIM_EXPECTS(!apps_.empty());
+  if (apps_.size() > kMaxAppsUnpacked)
+    throw std::invalid_argument(
+        "DiscreteVerifier: " + std::to_string(apps_.size()) +
+        " applications in one slot exceeds the supported maximum of " +
+        std::to_string(kMaxAppsUnpacked) +
+        " (the search explores 2^napps disturbance subsets per state and "
+        "is intractable long before this bound)");
+  for (const AppTiming& a : apps_) {
+    a.validate();
+    // Every representation stores counters in bytes.
+    TTDIM_EXPECTS(a.min_interarrival < 250);
+    TTDIM_EXPECTS(a.t_star_w + a.t_plus[static_cast<size_t>(a.t_star_w)] <
+                  250);
+  }
+}
+
+SlotVerdict DiscreteVerifier::verify(const Options& options) const {
+  return verify(options, nullptr, nullptr);
+}
+
+SlotVerdict DiscreteVerifier::verify(const Options& options,
+                                     const ExplorationState* extend_from,
+                                     ExplorationState* capture) const {
+  const size_t napps = apps_.size();
+  if (options.backend == StateBackend::kUnpacked || napps > kMaxApps)
+    return run_search<HeapShape>(apps_, options, extend_from, capture);
+  if (3 * napps <= 16)
+    return run_search<PackedShape<16>>(apps_, options, extend_from, capture);
+  return run_search<PackedShape<48>>(apps_, options, extend_from, capture);
 }
 
 }  // namespace ttdim::verify

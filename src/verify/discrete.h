@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,17 +69,51 @@ struct SlotVerdict {
   return !(a == b);
 }
 
+/// Snapshot of a *completed* safe exploration: every reachable pre-tick
+/// state, packed 3 bytes per application, one record per state in BFS
+/// discovery order (the first record is always the all-steady initial
+/// state). A completed proof has an empty frontier, so the snapshot *is*
+/// the frontier of any extension: when applications are appended, every
+/// recorded state may spawn successors that involve the new applications,
+/// and the extension BFS re-enqueues all of them (see
+/// DiscreteVerifier::verify below for the soundness argument).
+struct ExplorationState {
+  /// Number of applications the records describe (record stride is
+  /// 3 * napps bytes).
+  std::size_t napps = 0;
+  /// Concatenated records, discovery order.
+  std::vector<std::uint8_t> packed;
+
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return napps == 0 ? 0 : packed.size() / (3 * napps);
+  }
+  [[nodiscard]] std::size_t byte_size() const noexcept {
+    return packed.size();
+  }
+};
+
 /// Exhaustive discrete-time verifier for a set of applications sharing one
 /// TT slot under the paper's strategy: EDF-like arbitration on deadline
 /// T*w - Tw, non-preemptive until T-dw(Tw), preemptable in
 /// [T-dw, T+dw), evicted at T+dw.
 class DiscreteVerifier {
  public:
-  /// Hard cap on applications sharing one slot: the BFS packs a state into
-  /// a fixed 3-bytes-per-app key (no heap traffic on the hot path), and
-  /// exploring 2^napps disturbance subsets per state is intractable far
-  /// below this bound anyway.
+  /// Cap on applications for the allocation-free packed state
+  /// representation (fixed 3-bytes-per-app keys). Larger populations fall
+  /// back to a heap-backed state encoding — same search, same verdicts,
+  /// slower per state — so oversized generated scenarios solve instead of
+  /// throwing.
   static constexpr std::size_t kMaxApps = 16;
+  /// Absolute cap: beyond this the 2^napps disturbance branching is
+  /// intractable under any representation and the constructor refuses.
+  static constexpr std::size_t kMaxAppsUnpacked = 62;
+
+  /// State-representation override for tests: kAuto picks the packed
+  /// encoding sized to the population (heap beyond kMaxApps); kUnpacked
+  /// forces the heap fallback. Verdicts are identical by construction —
+  /// the equality is pinned by tests/discrete_large_test.cpp — so this
+  /// never enters the oracle layer's cache keys.
+  enum class StateBackend { kAuto, kUnpacked };
 
   struct Options {
     /// Cap on disturbance instances per application; < 0 explores the full
@@ -97,6 +132,8 @@ class DiscreteVerifier {
     /// the verdict is expected to be "safe". The verdict itself is
     /// identical either way.
     bool depth_first = false;
+    /// Testing hook, see StateBackend.
+    StateBackend backend = StateBackend::kAuto;
 
     Options() {}
   };
@@ -106,6 +143,39 @@ class DiscreteVerifier {
   /// Runs the reachability analysis. Throws std::runtime_error when the
   /// state budget is exhausted.
   [[nodiscard]] SlotVerdict verify(const Options& options = {}) const;
+
+  /// Reachability analysis with prefix reuse (the incremental admission
+  /// oracle's workhorse, engine/oracle/incremental_oracle.h).
+  ///
+  /// `extend_from`, when non-null, must be the snapshot of a *safe*
+  /// exploration of apps()[0 .. extend_from->napps) under the same
+  /// options; the search then seeds its visited set and queue with every
+  /// recorded state (appended applications all steady) instead of just
+  /// the initial state.
+  ///
+  /// Soundness ("appending is conservative"): an appended application's
+  /// state dimensions are disjoint from the prefix's, and while it stays
+  /// steady it is invisible to every transition rule — it elapses nothing
+  /// in phase 1, joins no waiter scan, and competes in no grant. The
+  /// prefix system therefore embeds exactly into the extended one via
+  /// "appended apps remain steady", so (a) every seeded state is genuinely
+  /// reachable in the extended system (no spurious counterexamples), and
+  /// (b) the seeded closure equals the from-scratch reachable set because
+  /// the true initial state is the first seed. Safe verdicts are
+  /// byte-identical to from-scratch runs (states_explored counts exactly
+  /// the reachable set either way); unsafe verdicts agree on `safe` but
+  /// may report a different violation (the search meets the error from a
+  /// different direction), which is why the oracle layer never caches
+  /// them. The invariants are asserted at seeding time.
+  ///
+  /// `capture`, when non-null, receives the snapshot of this run's
+  /// reachable set if (and only if) the verdict is safe.
+  ///
+  /// Both features require the default breadth-first traversal and no
+  /// witness recording; violations are precondition failures.
+  [[nodiscard]] SlotVerdict verify(const Options& options,
+                                   const ExplorationState* extend_from,
+                                   ExplorationState* capture) const;
 
   [[nodiscard]] const std::vector<AppTiming>& apps() const noexcept {
     return apps_;

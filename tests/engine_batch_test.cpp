@@ -115,7 +115,12 @@ TEST(BatchRunner, EmptyBatch) {
 TEST(BatchRunner, MemoizedAndUncachedSolvesFingerprintIdentically) {
   std::vector<BatchJob> cached_jobs = small_batch();
   std::vector<BatchJob> uncached_jobs = small_batch();
-  for (BatchJob& job : uncached_jobs) job.options.memoize_admission = false;
+  for (BatchJob& job : uncached_jobs) {
+    // The true reference path: both oracle tiers off, one fresh
+    // DiscreteVerifier run per probe.
+    job.options.memoize_admission = false;
+    job.options.incremental_admission = false;
+  }
   const std::vector<BatchOutcome> cached = BatchRunner(2).solve_all(cached_jobs);
   const std::vector<BatchOutcome> uncached =
       BatchRunner(2).solve_all(uncached_jobs);

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <memory>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "engine/oracle/admission_oracle.h"
@@ -157,6 +158,48 @@ TEST(VerdictCache, ClearResetsContentAndCounters) {
   EXPECT_EQ(stats.hits, 0);
   EXPECT_EQ(stats.size, 0u);
   EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(VerdictCache, ConcurrentLookupsInsertsAndStatsAreCoherent) {
+  // Batch jobs share one cache and aggregate SolveStats while siblings
+  // are still hitting it: lookups, inserts and stats() snapshots must be
+  // data-race-free (the TSan CI job runs this suite) and the counters
+  // must add up once the threads join.
+  VerdictCache cache(64);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  std::vector<SlotConfigKey> keys;
+  for (int k = 0; k < 32; ++k)
+    keys.push_back(
+        SlotConfigKey::of({uniform_app("A", 2 + k % 4, 1, 1, 8 + k)}, {}));
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&cache, &keys, w] {
+      SlotVerdict verdict;
+      verdict.safe = true;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const SlotConfigKey& key =
+            keys[static_cast<size_t>((op * 7 + w) % 32)];
+        if (!cache.lookup(key).has_value()) cache.insert(key, verdict);
+        // Concurrent snapshot: each counter is individually tear-free and
+        // never runs backwards past zero.
+        const CacheStats stats = cache.stats();
+        EXPECT_GE(stats.hits, 0);
+        EXPECT_GE(stats.misses, 0);
+        EXPECT_GE(stats.insertions, stats.evictions);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const CacheStats stats = cache.stats();
+  // Every lookup was counted exactly once...
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread);
+  // ...every distinct key was inserted at least once and at most once per
+  // concurrent missing thread.
+  EXPECT_GE(stats.insertions, 32);
+  EXPECT_LE(stats.insertions, static_cast<long>(keys.size()) * kThreads);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(stats.size, 32u);
 }
 
 // ------------------------------------------------- MemoizedAdmissionOracle --

@@ -156,6 +156,35 @@ TEST(ScenarioGenerator, CoincidenceModeAttainsTheBoundForSkewedWindows) {
   expect_coincidence_attained(apps);
 }
 
+void expect_windows_fit(const sched::Scenario& s,
+                        const std::vector<AppTiming>& apps) {
+  ASSERT_EQ(s.disturbances.size(), apps.size());
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const int window = apps[i].t_star_w + verify::max_dwell(apps[i]);
+    for (int t : s.disturbances[i])
+      // The episode occupies [t, t + window]; its last tick must be
+      // simulated, so it has to lie strictly inside [0, horizon).
+      EXPECT_LT(t + window, s.horizon)
+          << apps[i].name << " instance at " << t;
+  }
+}
+
+TEST(ScenarioGenerator, EveryInstanceWindowFitsInsideTheHorizon) {
+  // The property the horizon arithmetic owes the simulator: no generated
+  // instance may have its wait + dwell episode truncated by the horizon —
+  // in particular not a final instance pushed late by kRandom jitter.
+  for (const auto& apps : {mixed_apps(), skewed_apps()}) {
+    ScenarioGenerator gen(apps, 99);
+    for (int round = 0; round < 10; ++round) {
+      for (ScenarioKind kind : kAllKinds)
+        expect_windows_fit(gen.make(kind, 3), apps);
+      // Random with jitter far beyond every r: the final arrivals land
+      // much later than any fixed tail estimate keyed to r would cover.
+      expect_windows_fit(gen.random(4, 200), apps);
+    }
+  }
+}
+
 TEST(ScenarioGenerator, RejectsBadArguments) {
   ScenarioGenerator gen(mixed_apps(), 0);
   EXPECT_THROW(static_cast<void>(gen.burst(0)), std::logic_error);
