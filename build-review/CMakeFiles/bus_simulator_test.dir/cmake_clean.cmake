@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_simulator_test.dir/tests/bus_simulator_test.cpp.o"
+  "CMakeFiles/bus_simulator_test.dir/tests/bus_simulator_test.cpp.o.d"
+  "bus_simulator_test"
+  "bus_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c2d_test.dir/tests/c2d_test.cpp.o"
+  "CMakeFiles/c2d_test.dir/tests/c2d_test.cpp.o.d"
+  "c2d_test"
+  "c2d_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casestudy_golden_test.dir/tests/casestudy_golden_test.cpp.o"
+  "CMakeFiles/casestudy_golden_test.dir/tests/casestudy_golden_test.cpp.o.d"
+  "casestudy_golden_test"
+  "casestudy_golden_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casestudy_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbm_property_test.dir/tests/dbm_property_test.cpp.o"
+  "CMakeFiles/dbm_property_test.dir/tests/dbm_property_test.cpp.o.d"
+  "dbm_property_test"
+  "dbm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discrete_large_test.dir/tests/discrete_large_test.cpp.o"
+  "CMakeFiles/discrete_large_test.dir/tests/discrete_large_test.cpp.o.d"
+  "discrete_large_test"
+  "discrete_large_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discrete_large_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_batch_test.dir/tests/engine_batch_test.cpp.o"
+  "CMakeFiles/engine_batch_test.dir/tests/engine_batch_test.cpp.o.d"
+  "engine_batch_test"
+  "engine_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

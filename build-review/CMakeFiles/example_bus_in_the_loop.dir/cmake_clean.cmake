@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bus_in_the_loop.dir/examples/bus_in_the_loop.cpp.o"
+  "CMakeFiles/example_bus_in_the_loop.dir/examples/bus_in_the_loop.cpp.o.d"
+  "bus_in_the_loop"
+  "bus_in_the_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bus_in_the_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_design.dir/examples/custom_design.cpp.o"
+  "CMakeFiles/example_custom_design.dir/examples/custom_design.cpp.o.d"
+  "custom_design"
+  "custom_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

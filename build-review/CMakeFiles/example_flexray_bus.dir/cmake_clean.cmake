@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flexray_bus.dir/examples/flexray_bus.cpp.o"
+  "CMakeFiles/example_flexray_bus.dir/examples/flexray_bus.cpp.o.d"
+  "flexray_bus"
+  "flexray_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flexray_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

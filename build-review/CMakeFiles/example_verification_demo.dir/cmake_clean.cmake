@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_verification_demo.dir/examples/verification_demo.cpp.o"
+  "CMakeFiles/example_verification_demo.dir/examples/verification_demo.cpp.o.d"
+  "verification_demo"
+  "verification_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_verification_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

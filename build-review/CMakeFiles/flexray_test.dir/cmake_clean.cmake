@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexray_test.dir/tests/flexray_test.cpp.o"
+  "CMakeFiles/flexray_test.dir/tests/flexray_test.cpp.o.d"
+  "flexray_test"
+  "flexray_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_oracle_test.dir/tests/incremental_oracle_test.cpp.o"
+  "CMakeFiles/incremental_oracle_test.dir/tests/incremental_oracle_test.cpp.o.d"
+  "incremental_oracle_test"
+  "incremental_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

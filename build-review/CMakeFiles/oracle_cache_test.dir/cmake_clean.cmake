@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_cache_test.dir/tests/oracle_cache_test.cpp.o"
+  "CMakeFiles/oracle_cache_test.dir/tests/oracle_cache_test.cpp.o.d"
+  "oracle_cache_test"
+  "oracle_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_dwell_search_test.dir/tests/oracle_dwell_search_test.cpp.o"
+  "CMakeFiles/oracle_dwell_search_test.dir/tests/oracle_dwell_search_test.cpp.o.d"
+  "oracle_dwell_search_test"
+  "oracle_dwell_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_dwell_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_generator_test.dir/tests/scenario_generator_test.cpp.o"
+  "CMakeFiles/scenario_generator_test.dir/tests/scenario_generator_test.cpp.o.d"
+  "scenario_generator_test"
+  "scenario_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switching_test.dir/tests/switching_test.cpp.o"
+  "CMakeFiles/switching_test.dir/tests/switching_test.cpp.o.d"
+  "switching_test"
+  "switching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

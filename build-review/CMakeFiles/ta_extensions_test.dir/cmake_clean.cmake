@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ta_extensions_test.dir/tests/ta_extensions_test.cpp.o"
+  "CMakeFiles/ta_extensions_test.dir/tests/ta_extensions_test.cpp.o.d"
+  "ta_extensions_test"
+  "ta_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ta_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

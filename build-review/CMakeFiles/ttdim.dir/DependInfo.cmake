@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/casestudy/apps.cpp" "CMakeFiles/ttdim.dir/src/casestudy/apps.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/casestudy/apps.cpp.o.d"
+  "/root/repo/src/control/c2d.cpp" "CMakeFiles/ttdim.dir/src/control/c2d.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/control/c2d.cpp.o.d"
+  "/root/repo/src/control/design.cpp" "CMakeFiles/ttdim.dir/src/control/design.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/control/design.cpp.o.d"
+  "/root/repo/src/control/lti.cpp" "CMakeFiles/ttdim.dir/src/control/lti.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/control/lti.cpp.o.d"
+  "/root/repo/src/control/sim.cpp" "CMakeFiles/ttdim.dir/src/control/sim.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/control/sim.cpp.o.d"
+  "/root/repo/src/core/dimensioning.cpp" "CMakeFiles/ttdim.dir/src/core/dimensioning.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/core/dimensioning.cpp.o.d"
+  "/root/repo/src/engine/batch_runner.cpp" "CMakeFiles/ttdim.dir/src/engine/batch_runner.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/batch_runner.cpp.o.d"
+  "/root/repo/src/engine/fingerprint.cpp" "CMakeFiles/ttdim.dir/src/engine/fingerprint.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/fingerprint.cpp.o.d"
+  "/root/repo/src/engine/oracle/admission_oracle.cpp" "CMakeFiles/ttdim.dir/src/engine/oracle/admission_oracle.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/oracle/admission_oracle.cpp.o.d"
+  "/root/repo/src/engine/oracle/dwell_search.cpp" "CMakeFiles/ttdim.dir/src/engine/oracle/dwell_search.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/oracle/dwell_search.cpp.o.d"
+  "/root/repo/src/engine/oracle/incremental_oracle.cpp" "CMakeFiles/ttdim.dir/src/engine/oracle/incremental_oracle.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/oracle/incremental_oracle.cpp.o.d"
+  "/root/repo/src/engine/oracle/slot_config_key.cpp" "CMakeFiles/ttdim.dir/src/engine/oracle/slot_config_key.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/oracle/slot_config_key.cpp.o.d"
+  "/root/repo/src/engine/oracle/snapshot_cache.cpp" "CMakeFiles/ttdim.dir/src/engine/oracle/snapshot_cache.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/oracle/snapshot_cache.cpp.o.d"
+  "/root/repo/src/engine/oracle/solve_stats.cpp" "CMakeFiles/ttdim.dir/src/engine/oracle/solve_stats.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/oracle/solve_stats.cpp.o.d"
+  "/root/repo/src/engine/oracle/verdict_cache.cpp" "CMakeFiles/ttdim.dir/src/engine/oracle/verdict_cache.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/oracle/verdict_cache.cpp.o.d"
+  "/root/repo/src/engine/parallel_for.cpp" "CMakeFiles/ttdim.dir/src/engine/parallel_for.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/parallel_for.cpp.o.d"
+  "/root/repo/src/engine/scenario_generator.cpp" "CMakeFiles/ttdim.dir/src/engine/scenario_generator.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/engine/scenario_generator.cpp.o.d"
+  "/root/repo/src/flexray/bus.cpp" "CMakeFiles/ttdim.dir/src/flexray/bus.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/flexray/bus.cpp.o.d"
+  "/root/repo/src/flexray/middleware.cpp" "CMakeFiles/ttdim.dir/src/flexray/middleware.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/flexray/middleware.cpp.o.d"
+  "/root/repo/src/flexray/simulator.cpp" "CMakeFiles/ttdim.dir/src/flexray/simulator.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/flexray/simulator.cpp.o.d"
+  "/root/repo/src/linalg/eig.cpp" "CMakeFiles/ttdim.dir/src/linalg/eig.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/linalg/eig.cpp.o.d"
+  "/root/repo/src/linalg/lyap.cpp" "CMakeFiles/ttdim.dir/src/linalg/lyap.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/linalg/lyap.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "CMakeFiles/ttdim.dir/src/linalg/matrix.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/solve.cpp" "CMakeFiles/ttdim.dir/src/linalg/solve.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/linalg/solve.cpp.o.d"
+  "/root/repo/src/mapping/first_fit.cpp" "CMakeFiles/ttdim.dir/src/mapping/first_fit.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/mapping/first_fit.cpp.o.d"
+  "/root/repo/src/sched/baseline.cpp" "CMakeFiles/ttdim.dir/src/sched/baseline.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/sched/baseline.cpp.o.d"
+  "/root/repo/src/sched/slot_scheduler.cpp" "CMakeFiles/ttdim.dir/src/sched/slot_scheduler.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/sched/slot_scheduler.cpp.o.d"
+  "/root/repo/src/sched/system_scheduler.cpp" "CMakeFiles/ttdim.dir/src/sched/system_scheduler.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/sched/system_scheduler.cpp.o.d"
+  "/root/repo/src/switching/dwell.cpp" "CMakeFiles/ttdim.dir/src/switching/dwell.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/switching/dwell.cpp.o.d"
+  "/root/repo/src/ta/dbm.cpp" "CMakeFiles/ttdim.dir/src/ta/dbm.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/ta/dbm.cpp.o.d"
+  "/root/repo/src/ta/network.cpp" "CMakeFiles/ttdim.dir/src/ta/network.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/ta/network.cpp.o.d"
+  "/root/repo/src/verify/app_timing.cpp" "CMakeFiles/ttdim.dir/src/verify/app_timing.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/verify/app_timing.cpp.o.d"
+  "/root/repo/src/verify/bounds.cpp" "CMakeFiles/ttdim.dir/src/verify/bounds.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/verify/bounds.cpp.o.d"
+  "/root/repo/src/verify/discrete.cpp" "CMakeFiles/ttdim.dir/src/verify/discrete.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/verify/discrete.cpp.o.d"
+  "/root/repo/src/verify/policy.cpp" "CMakeFiles/ttdim.dir/src/verify/policy.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/verify/policy.cpp.o.d"
+  "/root/repo/src/verify/ta_model.cpp" "CMakeFiles/ttdim.dir/src/verify/ta_model.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/verify/ta_model.cpp.o.d"
+  "/root/repo/src/verify/table_io.cpp" "CMakeFiles/ttdim.dir/src/verify/table_io.cpp.o" "gcc" "CMakeFiles/ttdim.dir/src/verify/table_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ttdim.
+# This may be replaced when dependencies are built.
