@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/dimensioning.h"
+#include "engine/analysis/analysis_cache.h"
 #include "engine/batch_runner.h"
 #include "engine/fingerprint.h"
 
@@ -61,11 +63,11 @@ void report() {
   for (int threads : {1, 2, 4, 8}) {
     const engine::BatchRunner runner(threads);
     const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<engine::BatchOutcome> out = runner.solve_all(jobs);
+    const engine::BatchReport report = runner.run(jobs);
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    const std::string fp = batch_fingerprint(out);
+    const std::string fp = batch_fingerprint(report.outcomes);
     if (threads == 1) {
       serial_seconds = seconds;
       serial_fp = fp;
@@ -75,6 +77,8 @@ void report() {
     std::printf("%8d %12.2f %8.2fx  %s\n", threads, seconds,
                 serial_seconds / seconds,
                 identical ? "identical to 1-thread" : "MISMATCH");
+    if (threads == 1)
+      std::printf("         aggregate: %s\n", report.summary().c_str());
   }
   std::printf("\nresults across thread counts: %s\n\n",
               all_identical ? "byte-identical" : "MISMATCH (bug!)");
@@ -82,6 +86,25 @@ void report() {
   // process, not just print.
   if (!all_identical) std::exit(1);
 }
+
+void BM_CaseStudySolveAnalysisWarm(benchmark::State& state) {
+  // The analysis tier in isolation: a shared AnalysisCache warmed by one
+  // solve, every other cache private and cold per iteration — so the
+  // measured solves answer all six per-app stability/dwell analyses from
+  // the cache (~microseconds) but still prove the mapping fresh. The
+  // gap to BM_CaseStudySolve is the memoized ~stability+dwell cost.
+  std::vector<core::AppSpec> specs;
+  for (const casestudy::App& app : casestudy::all_apps())
+    specs.push_back({app.name, app.plant, app.kt, app.ke,
+                     app.min_interarrival, app.settling_requirement});
+  core::SolveOptions options;
+  options.analysis_cache = std::make_shared<engine::analysis::AnalysisCache>();
+  benchmark::DoNotOptimize(core::solve(specs, options));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(specs, options));
+  }
+}
+BENCHMARK(BM_CaseStudySolveAnalysisWarm)->Unit(benchmark::kMillisecond);
 
 void BM_BatchSolve(benchmark::State& state) {
   const std::vector<engine::BatchJob> jobs =

@@ -30,6 +30,22 @@ inline verify::AppTiming timing_of(const casestudy::App& app) {
 
 }  // namespace ttdim::bench
 
+/// Fixed CPU-bound workload, hardware-dependent but input-independent:
+/// scripts/check_bench_regression.py divides every gated solve time by
+/// the calibration time *from the same report*, which cancels the
+/// machine's scalar speed. Registered by every bench binary through this
+/// header so each binary's JSON is self-normalizing — gated benches must
+/// never be normalized by a calibration run in a different process.
+inline void BM_Calibration(benchmark::State& state) {
+  for (auto _ : state) {
+    double acc = 1.0;
+    for (int i = 1; i <= 4'000'000; ++i)
+      acc += 1.0 / (static_cast<double>(i) * static_cast<double>(i));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Calibration)->Unit(benchmark::kMillisecond);
+
 /// Every bench binary prints its reproduced artefact once, then runs the
 /// registered google-benchmark timings.
 #define TTDIM_BENCH_MAIN(report_fn)                  \

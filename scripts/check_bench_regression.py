@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
 """Gate on benchmark regressions of the case-study solve.
 
-Compares a fresh google-benchmark JSON report of bench_oracle against the
-checked-in bench/BENCH_baseline.json. Absolute times are meaningless
-across machines, so every solve time is first normalized by the run's own
-BM_Calibration time (a fixed CPU-bound loop): the compared quantity is
-"solves per calibration unit", which cancels the machine's scalar speed.
+Compares fresh google-benchmark JSON reports (bench_oracle, and since the
+analysis-cache PR also bench_batch for BM_CaseStudySolveAnalysisWarm)
+against the checked-in bench/BENCH_baseline.json. Absolute times are
+meaningless across machines, so every solve time is first normalized by
+the BM_Calibration time (a fixed CPU-bound loop, registered by every
+bench binary via bench_common.h) *from the same report*: the compared
+quantity is "solves per calibration unit", which cancels the machine's
+scalar speed. Normalizing one binary's solve by another binary's
+calibration would reintroduce cross-process noise (thermal throttling or
+a noisy neighbor during one run but not the other), so each report must
+carry its own calibration, and the baseline file keeps the per-binary
+runs as separate groups ({"groups": [<report>, ...]}; a plain report is
+treated as one group).
 
 Usage:
-  check_bench_regression.py <current.json> [--baseline bench/BENCH_baseline.json]
+  check_bench_regression.py <current.json> [<more.json> ...]
+                            [--baseline bench/BENCH_baseline.json]
                             [--threshold 0.25]
 
 Exit code 1 when any gated benchmark is more than `threshold` slower
 (calibrated) than the baseline. Speedups update nothing — refresh the
-baseline deliberately by re-running bench_oracle with
---benchmark_format=json and committing the result.
+baseline deliberately by re-running bench_oracle and bench_batch with
+--benchmark_format=json and committing the merged groups.
 """
 
 import argparse
@@ -26,19 +35,27 @@ GATED = [
     "BM_CaseStudySolveUncached",
     "BM_CaseStudySolveWarmCache",
     "BM_CaseStudySolvePrefixWarm",
+    "BM_CaseStudySolveAnalysisWarm",
 ]
 CALIBRATION = "BM_Calibration"
 
 
-def load_times(path):
-    with open(path) as fh:
-        report = json.load(fh)
+def times_of(benchmarks):
     times = {}
-    for bench in report.get("benchmarks", []):
+    for bench in benchmarks:
         name = bench.get("name", "")
         if name not in times and "real_time" in bench:
             times[name] = float(bench["real_time"])
     return times
+
+
+def load_groups(path):
+    """One times-dict per self-normalizing report group in the file."""
+    with open(path) as fh:
+        report = json.load(fh)
+    if "groups" in report:
+        return [times_of(g.get("benchmarks", [])) for g in report["groups"]]
+    return [times_of(report.get("benchmarks", []))]
 
 
 def time_of(times, name):
@@ -47,27 +64,42 @@ def time_of(times, name):
     return times.get(name + "_median", times.get(name))
 
 
+def calibrated(groups, name, label):
+    """Calibration units of `name`, normalized within the first group
+    that contains it. None (with a message) when absent everywhere or the
+    containing group lacks its own calibration."""
+    for times in groups:
+        raw = time_of(times, name)
+        if raw is None:
+            continue
+        calibration = time_of(times, CALIBRATION)
+        if calibration is None:
+            print(f"FAIL: the {label} report containing {name} has no "
+                  f"{CALIBRATION} of its own")
+            return None
+        return raw / calibration
+    print(f"FAIL: {name} missing from the {label} report(s)")
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser()
-    parser.add_argument("current", help="fresh bench_oracle JSON report")
+    parser.add_argument(
+        "current", nargs="+",
+        help="fresh benchmark JSON report(s), each self-normalizing")
     parser.add_argument("--baseline", default="bench/BENCH_baseline.json")
     parser.add_argument("--threshold", type=float, default=0.25)
     args = parser.parse_args()
 
-    current = load_times(args.current)
-    baseline = load_times(args.baseline)
-
-    for required in GATED + [CALIBRATION]:
-        for label, times in (("current", current), ("baseline", baseline)):
-            if time_of(times, required) is None:
-                print(f"FAIL: {required} missing from {label} report")
-                return 1
+    current = [group for path in args.current for group in load_groups(path)]
+    baseline = load_groups(args.baseline)
 
     failed = False
     for name in GATED:
-        # Calibrated ratio: how many calibration units one solve costs.
-        cur = time_of(current, name) / time_of(current, CALIBRATION)
-        base = time_of(baseline, name) / time_of(baseline, CALIBRATION)
+        cur = calibrated(current, name, "current")
+        base = calibrated(baseline, name, "baseline")
+        if cur is None or base is None:
+            return 1
         change = cur / base - 1.0
         verdict = "ok"
         if change > args.threshold:

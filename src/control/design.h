@@ -84,4 +84,13 @@ struct SwitchingStability {
     const DiscreteLti& plant, const Matrix& kt, const Matrix& ke,
     const SettlingSpec& settling = {});
 
+/// Append a canonical, byte-exact serialization of a stability verdict
+/// (flags, settling numbers, CQLF certificate bits) to `out`, and the
+/// verdict's resident byte size. check_switching_stability is a pure
+/// function of (plant, kt, ke, settling), so the canonical form of those
+/// inputs content-addresses the verdict — this pair is what lets the
+/// engine::analysis cache store and equality-check certificates.
+void append_canonical(std::string& out, const SwitchingStability& s);
+[[nodiscard]] std::size_t byte_cost(const SwitchingStability& s);
+
 }  // namespace ttdim::control

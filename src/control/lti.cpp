@@ -36,6 +36,17 @@ Matrix DiscreteLti::unit_output_state() const {
   return ct * linalg::solve(gram, e1);
 }
 
+void append_canonical(std::string& out, const DiscreteLti& plant) {
+  out += "phi=";
+  linalg::append_canonical_bits(out, plant.phi());
+  out += "gam=";
+  linalg::append_canonical_bits(out, plant.gamma());
+  out += "c=";
+  linalg::append_canonical_bits(out, plant.c());
+  out += "h=";
+  linalg::append_canonical_bits(out, Matrix{{plant.h()}});
+}
+
 Matrix closed_loop(const DiscreteLti& plant, const Matrix& k) {
   TTDIM_EXPECTS(k.rows() == plant.n_inputs() && k.cols() == plant.n_states());
   return plant.phi() - plant.gamma() * k;

@@ -40,6 +40,12 @@ class DiscreteLti {
   double h_;
 };
 
+/// Append a canonical, byte-exact serialization of the discretized plant
+/// (phi, gamma, c and the sampling period's bit pattern) to `out` — the
+/// content-addressed identity of the dynamics, as consumed by
+/// engine::analysis::AppAnalysisKey. Pure function of the plant data.
+void append_canonical(std::string& out, const DiscreteLti& plant);
+
 /// Closed-loop matrix phi - gamma k for u = -k x (paper Eq. (3)). `k` is a
 /// 1 x n row gain.
 [[nodiscard]] Matrix closed_loop(const DiscreteLti& plant, const Matrix& k);

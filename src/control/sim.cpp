@@ -6,6 +6,14 @@
 
 namespace ttdim::control {
 
+void append_canonical(std::string& out, const SettlingSpec& spec) {
+  out += "tol=";
+  linalg::append_canonical_bits(out, Matrix{{spec.abs_tol}});
+  out += "hor=";
+  out += std::to_string(spec.horizon);
+  out += ';';
+}
+
 std::optional<int> settling_samples(const Trace& trace, double abs_tol) {
   TTDIM_EXPECTS(abs_tol > 0.0);
   int last_violation = -1;

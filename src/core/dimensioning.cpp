@@ -6,7 +6,8 @@
 #include <optional>
 #include <stdexcept>
 
-#include "engine/oracle/dwell_search.h"
+#include "engine/analysis/analysis_cache.h"
+#include "engine/analysis/app_analysis.h"
 #include "engine/oracle/incremental_oracle.h"
 #include "engine/oracle/snapshot_cache.h"
 #include "engine/oracle/verdict_cache.h"
@@ -18,11 +19,7 @@ namespace ttdim::core {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
+using engine::oracle::ms_since;
 
 }  // namespace
 
@@ -38,12 +35,24 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   const auto t_solve = Clock::now();
   Solution solution;
 
-  // ---- Per-application analysis. -----------------------------------------
-  // Applications are independent, so the phase runs through the
-  // deterministic parallel-for: every app writes only its own slot and the
-  // assembled vector is identical for any thread count. The serial path
-  // would stop at the first failing app in input order; the parallel path
+  // ---- Per-application analysis (engine/analysis). -----------------------
+  // Stability certificates and dwell tables are pure functions of the
+  // plant/gain/spec tuple, so each app is answered by analyze_app —
+  // either from the content-addressed AnalysisCache or computed fresh and
+  // inserted; the result is byte-identical either way. Applications are
+  // independent, so the phase runs through the deterministic parallel-for
+  // (on the shared Executor pool): every app writes only its own slot and
+  // the assembled vector is identical for any thread count. The serial
+  // path stops at the first failing app in input order; the parallel path
   // reproduces that by rethrowing the lowest-index failure.
+  std::shared_ptr<engine::analysis::AnalysisCache> analysis_cache;
+  if (options.memoize_analysis)
+    analysis_cache =
+        options.analysis_cache
+            ? options.analysis_cache
+            : std::make_shared<engine::analysis::AnalysisCache>();
+  const long evictions_before =
+      analysis_cache ? analysis_cache->stats().evictions : 0;
   const int napps = static_cast<int>(specs.size());
   const int threads =
       std::min(engine::resolve_threads(options.analysis_threads), napps);
@@ -53,30 +62,34 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   std::vector<std::exception_ptr> failures(specs.size());
   std::vector<double> stability_ms(specs.size(), 0.0);
   std::vector<double> dwell_ms(specs.size(), 0.0);
+  std::vector<char> cache_hit(specs.size(), 0);
+  const auto t_analysis = Clock::now();
   engine::parallel_for_index(threads, napps, [&](int i) {
     const AppSpec& spec = specs[static_cast<size_t>(i)];
     try {
-      AppSolution app{spec, {}, {}, {}};
-      const auto t_stab = Clock::now();
-      app.stability =
-          control::check_switching_stability(spec.plant, spec.kt, spec.ke);
-      stability_ms[static_cast<size_t>(i)] = ms_since(t_stab);
+      engine::analysis::AppAnalysisSpec aspec;
+      aspec.dwell.settling_requirement = spec.settling_requirement;
+      aspec.dwell.settling = options.settling;
+      aspec.dwell.tw_granularity = options.tw_granularity;
+      aspec.stop_on_unstable = options.require_switching_stability;
+      const engine::analysis::AppAnalysisOutcome outcome =
+          engine::analysis::analyze_app(spec.plant, spec.kt, spec.ke, aspec,
+                                        analysis_cache.get(), row_threads);
+      stability_ms[static_cast<size_t>(i)] = outcome.stability_ms;
+      dwell_ms[static_cast<size_t>(i)] = outcome.dwell_ms;
+      cache_hit[static_cast<size_t>(i)] = outcome.cache_hit ? 1 : 0;
+
+      AppSolution app{spec, {}, {}, outcome.result->stability};
       if (options.require_switching_stability &&
           !app.stability.switching_stable())
         throw std::invalid_argument(
             "solve: gain pair of " + spec.name +
             " is not switching stable (set require_switching_stability = "
             "false to override)");
-
-      const control::SwitchedLoop loop(spec.plant, spec.kt, spec.ke);
-      switching::DwellAnalysisSpec dwell_spec;
-      dwell_spec.settling_requirement = spec.settling_requirement;
-      dwell_spec.settling = options.settling;
-      dwell_spec.tw_granularity = options.tw_granularity;
-      const auto t_dwell = Clock::now();
-      app.tables = engine::oracle::compute_dwell_tables_parallel(
-          loop, dwell_spec, row_threads);
-      dwell_ms[static_cast<size_t>(i)] = ms_since(t_dwell);
+      // Past the stability gate the analysis always carries tables
+      // (stop_on_unstable mirrors require_switching_stability).
+      TTDIM_CHECK(outcome.result->tables_computed);
+      app.tables = outcome.result->tables;
       if (!app.tables.feasible())
         throw std::invalid_argument("solve: requirement of " + spec.name +
                                     " infeasible even with zero wait");
@@ -93,6 +106,7 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   });
   for (const std::exception_ptr& failure : failures)
     if (failure) std::rethrow_exception(failure);
+  solution.stats.analysis_ms = ms_since(t_analysis);
   solution.apps.reserve(specs.size());
   for (std::optional<AppSolution>& app : analyzed)
     solution.apps.push_back(std::move(*app));
@@ -100,6 +114,11 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
       engine::resolve_threads(options.analysis_threads);
   for (double v : stability_ms) solution.stats.stability_ms += v;
   for (double v : dwell_ms) solution.stats.dwell_ms += v;
+  for (char hit : cache_hit)
+    (hit ? solution.stats.analysis_hits : solution.stats.analysis_misses)++;
+  if (analysis_cache)
+    solution.stats.analysis_evictions =
+        analysis_cache->stats().evictions - evictions_before;
 
   // ---- Proposed mapping: first-fit + model checking, routed through the
   // memoized admission oracle (engine/oracle). ------------------------------

@@ -25,6 +25,10 @@ class VerdictCache;
 class SnapshotCache;
 }  // namespace ttdim::engine::oracle
 
+namespace ttdim::engine::analysis {
+class AnalysisCache;
+}  // namespace ttdim::engine::analysis
+
 namespace ttdim::core {
 
 /// One application as specified by the system designer.
@@ -72,6 +76,17 @@ struct SolveOptions {
   /// Snapshot cache shared across solves, like verdict_cache. nullptr +
   /// incremental_admission gives the solve a private cache.
   std::shared_ptr<engine::oracle::SnapshotCache> snapshot_cache;
+  /// Memoize the per-application analysis phase (engine/analysis): the
+  /// stability certificate and dwell tables of each plant/gain/spec
+  /// tuple are answered from a content-addressed AnalysisCache instead
+  /// of recomputed. The dimensioning result is byte-identical either
+  /// way — the analysis is a pure function of the key.
+  bool memoize_analysis = true;
+  /// Analysis cache shared across solves (batch jobs, a serve process):
+  /// scenarios that perturb arrival patterns but reuse the same plants
+  /// then pay the ~stability+dwell cost once instead of per job.
+  /// nullptr + memoize_analysis gives the solve a private cache.
+  std::shared_ptr<engine::analysis::AnalysisCache> analysis_cache;
   /// Thread budget of the per-application analysis phase (stability +
   /// dwell tables) and of the dwell-row search: 1 = serial (default),
   /// 0 = hardware concurrency. Results are independent of this value.

@@ -1,0 +1,56 @@
+#include "engine/analysis/app_analysis.h"
+
+#include <chrono>
+#include <utility>
+
+#include "control/design.h"
+#include "engine/oracle/dwell_search.h"
+#include "engine/oracle/solve_stats.h"
+
+namespace ttdim::engine::analysis {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using oracle::ms_since;
+
+}  // namespace
+
+AppAnalysisOutcome analyze_app(const control::DiscreteLti& plant,
+                               const linalg::Matrix& kt,
+                               const linalg::Matrix& ke,
+                               const AppAnalysisSpec& spec,
+                               AnalysisCache* cache, int dwell_threads) {
+  AppAnalysisOutcome out;
+  AppAnalysisKey key;
+  if (cache != nullptr) {
+    key = AppAnalysisKey::of(plant, kt, ke, spec);
+    if (auto cached = cache->lookup(key)) {
+      out.result = std::move(cached);
+      out.cache_hit = true;
+      return out;
+    }
+  }
+
+  AppAnalysisResult result;
+  const auto t_stability = Clock::now();
+  result.stability = control::check_switching_stability(
+      plant, kt, ke, spec.stability_settling);
+  out.stability_ms = ms_since(t_stability);
+
+  result.tables_computed =
+      !(spec.stop_on_unstable && !result.stability.switching_stable());
+  if (result.tables_computed) {
+    const control::SwitchedLoop loop(plant, kt, ke);
+    const auto t_dwell = Clock::now();
+    result.tables =
+        oracle::compute_dwell_tables_parallel(loop, spec.dwell, dwell_threads);
+    out.dwell_ms = ms_since(t_dwell);
+  }
+
+  if (cache != nullptr) cache->insert(key, result);
+  out.result = std::make_shared<const AppAnalysisResult>(std::move(result));
+  return out;
+}
+
+}  // namespace ttdim::engine::analysis

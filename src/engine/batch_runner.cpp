@@ -5,6 +5,11 @@
 
 namespace ttdim::engine {
 
+std::string BatchReport::summary() const {
+  return std::to_string(outcomes.size()) + " jobs, " + std::to_string(failed) +
+         " failed | " + stats.summary();
+}
+
 BatchRunner::BatchRunner(int threads) : threads_(resolve_threads(threads)) {}
 
 void BatchRunner::for_each_index(int n,
@@ -12,18 +17,29 @@ void BatchRunner::for_each_index(int n,
   parallel_for_index(threads_, n, fn);
 }
 
-std::vector<BatchOutcome> BatchRunner::solve_all(
-    const std::vector<BatchJob>& jobs) const {
-  std::vector<BatchOutcome> outcomes(jobs.size());
+BatchReport BatchRunner::run(const std::vector<BatchJob>& jobs) const {
+  BatchReport report;
+  report.outcomes.resize(jobs.size());
   for_each_index(static_cast<int>(jobs.size()), [&](int i) {
     const std::size_t k = static_cast<std::size_t>(i);
     try {
-      outcomes[k].solution = core::solve(jobs[k].specs, jobs[k].options);
+      report.outcomes[k].solution = core::solve(jobs[k].specs, jobs[k].options);
     } catch (const std::exception& e) {
-      outcomes[k].error = e.what();
+      report.outcomes[k].error = e.what();
     }
   });
-  return outcomes;
+  for (const BatchOutcome& outcome : report.outcomes) {
+    if (outcome.ok())
+      report.stats = report.stats + outcome.solution->stats;
+    else
+      ++report.failed;
+  }
+  return report;
+}
+
+std::vector<BatchOutcome> BatchRunner::solve_all(
+    const std::vector<BatchJob>& jobs) const {
+  return run(jobs).outcomes;
 }
 
 }  // namespace ttdim::engine

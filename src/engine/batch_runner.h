@@ -1,11 +1,13 @@
 // Parallel batch dimensioning: run many independent end-to-end
-// dimensioning problems (core::solve) concurrently. The pipeline per
-// system is untouched and single-threaded; parallelism comes only from
-// the embarrassing independence between systems, so results are
-// bit-identical to the serial loop — workers self-schedule ("steal") the
-// next unclaimed job index from a shared atomic cursor, and every result
-// is written to its job's slot, preserving input order regardless of
-// completion order.
+// dimensioning problems (core::solve) concurrently on the process-wide
+// work-stealing Executor pool. Parallelism comes only from the
+// embarrassing independence between systems, so results are
+// bit-identical to the serial loop — workers steal the next unclaimed
+// job index from the batch's cursor, and every result is written to its
+// job's slot, preserving input order regardless of completion order.
+// Because the pool is shared, a solve's own analysis fan-out
+// (SolveOptions::analysis_threads) rides the same threads instead of
+// spawning more on top of the batch's.
 #pragma once
 
 #include <functional>
@@ -33,6 +35,20 @@ struct BatchOutcome {
   [[nodiscard]] bool ok() const { return solution.has_value(); }
 };
 
+/// A whole batch's outcomes plus the aggregate accounting: the total
+/// failed-job count (every !ok() slot — a multi-failure batch reports
+/// all of them, not just the first) and the element-wise sum of the
+/// successful jobs' SolveStats.
+struct BatchReport {
+  std::vector<BatchOutcome> outcomes;
+  int failed = 0;
+  oracle::SolveStats stats;
+
+  /// One-line human-readable form for benches and logs, built on
+  /// SolveStats::summary().
+  [[nodiscard]] std::string summary() const;
+};
+
 class BatchRunner {
  public:
   /// threads == 0 picks std::thread::hardware_concurrency(); threads == 1
@@ -45,11 +61,14 @@ class BatchRunner {
   [[nodiscard]] std::vector<BatchOutcome> solve_all(
       const std::vector<BatchJob>& jobs) const;
 
-  /// The underlying deterministic parallel-for: fn(i) for i in [0, n),
-  /// each index claimed exactly once. fn runs concurrently on up to
-  /// thread_count() threads and must only write state owned by index i.
-  /// The first exception escaping fn is rethrown on the calling thread
-  /// after all workers drain.
+  /// solve_all plus the aggregate report (failed count, summed stats).
+  [[nodiscard]] BatchReport run(const std::vector<BatchJob>& jobs) const;
+
+  /// The underlying deterministic parallel-for on the shared Executor
+  /// pool: fn(i) for i in [0, n), each index claimed exactly once. fn
+  /// runs concurrently on up to thread_count() threads and must only
+  /// write state owned by index i. The lowest-index exception escaping
+  /// fn is rethrown on the calling thread after all indices ran.
   void for_each_index(int n, const std::function<void(int)>& fn) const;
 
  private:

@@ -1,0 +1,183 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace ttdim::engine {
+
+namespace {
+
+/// One run() call: the per-job task queue is the atomic index cursor —
+/// claiming an index IS dequeuing a task, and a foreign thread claiming
+/// from another job's cursor IS stealing.
+struct Job {
+  int n = 0;
+  int parallelism = 1;  ///< attached-thread cap, including the caller
+  const std::function<void(int)>* fn = nullptr;
+  std::atomic<int> cursor{0};  ///< next unclaimed index
+  std::atomic<int> done{0};    ///< indices finished executing
+  int active = 0;              ///< attached threads; guarded by the pool mutex
+  /// Slot i written only by the thread that ran index i; reads are
+  /// ordered after every write by the acquire load of done == n.
+  std::vector<std::exception_ptr> errors;
+  std::atomic<bool> failed{false};
+  std::mutex m;
+  std::condition_variable complete;
+};
+
+void finish_index(Job& job) {
+  // The release increment publishes this index's writes (fn state and
+  // errors[i]); the caller's acquire load of done == n in run() then
+  // orders every slot read after every slot write — the join-equivalent
+  // of the old per-batch std::thread::join.
+  if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+    { std::lock_guard<std::mutex> lock(job.m); }
+    job.complete.notify_all();
+  }
+}
+
+void drain(Job& job) {
+  for (;;) {
+    const int i = job.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) return;
+    try {
+      (*job.fn)(i);
+    } catch (...) {
+      job.errors[static_cast<std::size_t>(i)] = std::current_exception();
+      job.failed.store(true, std::memory_order_relaxed);
+    }
+    finish_index(job);
+  }
+}
+
+}  // namespace
+
+struct Executor::Impl {
+  explicit Impl(int cap) : max_threads(cap) {}
+
+  const int max_threads;
+  std::mutex mu;
+  std::condition_variable work;
+  std::vector<std::shared_ptr<Job>> jobs;  ///< active, submission order
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  /// Oldest job with unclaimed work and room under its cap — submission
+  /// order keeps outer batches ahead of their own nested fan-outs.
+  std::shared_ptr<Job> pick_locked() {
+    for (const std::shared_ptr<Job>& job : jobs)
+      if (job->cursor.load(std::memory_order_relaxed) < job->n &&
+          job->active < job->parallelism)
+        return job;
+    return nullptr;
+  }
+
+  /// Grow the pool toward `wanted` workers (never beyond max_threads).
+  /// A spawn failure is not fatal: the submitting thread always drains
+  /// its own job, so fewer workers only means less overlap.
+  void ensure_workers_locked(int wanted) {
+    const int target = std::min(wanted, max_threads);
+    while (static_cast<int>(workers.size()) < target) {
+      try {
+        workers.emplace_back([this] { worker_loop(); });
+      } catch (const std::system_error&) {
+        break;
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      const std::shared_ptr<Job> job = pick_locked();
+      if (!job) {
+        if (stop) return;
+        work.wait(lock);
+        continue;
+      }
+      ++job->active;
+      lock.unlock();
+      drain(*job);
+      lock.lock();
+      --job->active;
+    }
+  }
+};
+
+Executor::Executor(int max_threads) : impl_(new Impl(max_threads)) {
+  TTDIM_EXPECTS(max_threads >= 0);
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+Executor& Executor::global() {
+  static Executor instance;
+  return instance;
+}
+
+void Executor::run(int parallelism, int n, const std::function<void(int)>& fn) {
+  TTDIM_EXPECTS(parallelism >= 1);
+  TTDIM_EXPECTS(n >= 0);
+  if (n == 0) return;
+  const int attached_cap = std::min(parallelism, n);
+  if (attached_cap <= 1) {
+    // Serial contract: fail fast, later indices never run.
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const auto job = std::make_shared<Job>();
+  job->n = n;
+  job->parallelism = attached_cap;
+  job->fn = &fn;
+  job->errors.resize(static_cast<std::size_t>(n));
+  job->active = 1;  // the caller
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->jobs.push_back(job);
+    impl_->ensure_workers_locked(attached_cap - 1);
+  }
+  impl_->work.notify_all();
+
+  drain(*job);  // the caller is always worker 0 of its own job
+  {
+    std::unique_lock<std::mutex> lock(job->m);
+    job->complete.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) >= n;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    --job->active;
+    auto& jobs = impl_->jobs;
+    jobs.erase(std::find(jobs.begin(), jobs.end(), job));
+  }
+
+  if (job->failed.load(std::memory_order_relaxed))
+    for (const std::exception_ptr& error : job->errors)
+      if (error) std::rethrow_exception(error);
+}
+
+int Executor::worker_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return static_cast<int>(impl_->workers.size());
+}
+
+}  // namespace ttdim::engine

@@ -6,19 +6,23 @@
 namespace ttdim::engine::oracle {
 
 std::string SolveStats::summary() const {
-  char buf[320];
-  std::snprintf(buf, sizeof(buf),
-                "total %.1f ms (stability %.1f, dwell %.1f, mapping %.1f, "
-                "baseline %.1f) | oracle %ld calls, %ld hits, %ld misses, "
-                "%ld states | prefix %ld hits, %ld reused, %ld extended",
-                total_ms, stability_ms, dwell_ms, mapping_ms, baseline_ms,
-                oracle_calls, cache_hits, cache_misses, verifier_states,
-                prefix_hits, states_reused, states_extended);
+  char buf[448];
+  std::snprintf(
+      buf, sizeof(buf),
+      "total %.1f ms (analysis %.1f [cold: stability %.1f, dwell %.1f], "
+      "mapping %.1f, baseline %.1f) | analysis cache %ld hits, %ld misses, "
+      "%ld evictions | oracle %ld calls, %ld hits, %ld misses, %ld states | "
+      "prefix %ld hits, %ld reused, %ld extended",
+      total_ms, analysis_ms, stability_ms, dwell_ms, mapping_ms, baseline_ms,
+      analysis_hits, analysis_misses, analysis_evictions, oracle_calls,
+      cache_hits, cache_misses, verifier_states, prefix_hits, states_reused,
+      states_extended);
   return buf;
 }
 
 SolveStats operator+(const SolveStats& a, const SolveStats& b) {
   SolveStats out;
+  out.analysis_ms = a.analysis_ms + b.analysis_ms;
   out.stability_ms = a.stability_ms + b.stability_ms;
   out.dwell_ms = a.dwell_ms + b.dwell_ms;
   out.mapping_ms = a.mapping_ms + b.mapping_ms;
@@ -31,6 +35,9 @@ SolveStats operator+(const SolveStats& a, const SolveStats& b) {
   out.prefix_hits = a.prefix_hits + b.prefix_hits;
   out.states_reused = a.states_reused + b.states_reused;
   out.states_extended = a.states_extended + b.states_extended;
+  out.analysis_hits = a.analysis_hits + b.analysis_hits;
+  out.analysis_misses = a.analysis_misses + b.analysis_misses;
+  out.analysis_evictions = a.analysis_evictions + b.analysis_evictions;
   out.analysis_threads = std::max(a.analysis_threads, b.analysis_threads);
   return out;
 }

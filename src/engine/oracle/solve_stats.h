@@ -5,18 +5,32 @@
 // byte-identical.
 #pragma once
 
+#include <chrono>
 #include <string>
 
 namespace ttdim::engine::oracle {
 
+/// Milliseconds elapsed since `start` — the phase-timing helper shared
+/// by every layer that stamps SolveStats fields.
+[[nodiscard]] inline double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 struct SolveStats {
-  // Time per phase, milliseconds. stability_ms and dwell_ms sum the
-  // per-application durations, so with analysis_threads > 1 they are
-  // aggregate busy time (can exceed total_ms); they equal the phase wall
-  // time in the default serial configuration. mapping_ms, baseline_ms
+  // Time per phase, milliseconds. stability_ms and dwell_ms are the
+  // *cold* analysis cost: they sum the per-application compute durations
+  // of analysis-cache misses only (hits cost microseconds and report
+  // zero), so with analysis_threads > 1 they are aggregate busy time
+  // (can exceed total_ms); they equal the cold phase wall time in the
+  // default serial configuration. analysis_ms is the wall time of the
+  // whole per-app phase, warm or cold — the warm/cold split is
+  // analysis_ms vs (stability_ms + dwell_ms). mapping_ms, baseline_ms
   // and total_ms are always wall time.
-  double stability_ms = 0.0;  ///< switching-stability checks
-  double dwell_ms = 0.0;      ///< dwell-table searches
+  double analysis_ms = 0.0;   ///< per-app phase wall time (cache incl.)
+  double stability_ms = 0.0;  ///< switching-stability checks (misses only)
+  double dwell_ms = 0.0;      ///< dwell-table searches (misses only)
   double mapping_ms = 0.0;    ///< proposed first-fit incl. admission proofs
   double baseline_ms = 0.0;   ///< both baseline mappings
   double total_ms = 0.0;
@@ -33,6 +47,15 @@ struct SolveStats {
   long prefix_hits = 0;       ///< runs seeded from a prefix snapshot
   long states_reused = 0;     ///< states seeded instead of re-derived
   long states_extended = 0;   ///< states explored beyond the seeds
+
+  // Analysis-cache counters (engine/analysis): per-app stability/dwell
+  // results answered from the content-addressed AnalysisCache vs
+  // computed fresh. Evictions are the cache-wide delta observed across
+  // this solve — approximate when the cache is shared with concurrent
+  // jobs, exact otherwise.
+  long analysis_hits = 0;
+  long analysis_misses = 0;
+  long analysis_evictions = 0;
 
   int analysis_threads = 1;   ///< thread budget of the per-app phase
 

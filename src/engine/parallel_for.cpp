@@ -1,11 +1,9 @@
 #include "engine/parallel_for.h"
 
-#include <atomic>
-#include <exception>
-#include <mutex>
+#include <algorithm>
 #include <thread>
-#include <vector>
 
+#include "engine/executor.h"
 #include "support/check.h"
 
 namespace ttdim::engine {
@@ -26,37 +24,7 @@ void parallel_for_index(int threads, int n,
     for (int i = 0; i < n; ++i) fn(i);
     return;
   }
-
-  std::atomic<int> cursor{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto drain = [&] {
-    for (;;) {
-      const int i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers) - 1);
-  try {
-    for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
-  } catch (...) {
-    // Thread spawn failed (resource exhaustion): drain with what we have,
-    // join, and surface the error instead of terminating on ~thread.
-    drain();
-    for (std::thread& t : pool) t.join();
-    throw;
-  }
-  drain();  // the calling thread is worker 0
-  for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  Executor::global().run(workers, n, fn);
 }
 
 }  // namespace ttdim::engine

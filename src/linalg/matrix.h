@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <initializer_list>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 namespace ttdim::linalg {
@@ -131,6 +132,18 @@ class Matrix {
 };
 
 std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+/// Append a canonical, byte-exact serialization of `m` to `out`:
+/// dimensions plus the IEEE-754 bit pattern of every entry in row-major
+/// order, as fixed-width hex. Two matrices serialize identically exactly
+/// when they are bit-identical — the property content-addressed cache
+/// keys need (decimal formatting would collapse distinct doubles, and
+/// "close enough" matrices must not share an analysis result).
+void append_canonical_bits(std::string& out, const Matrix& m);
+
+/// Resident size in bytes (object header + heap payload) — byte-budget
+/// accounting for caches holding matrices.
+[[nodiscard]] std::size_t byte_cost(const Matrix& m);
 
 /// Kronecker product a (x) b.
 [[nodiscard]] Matrix kron(const Matrix& a, const Matrix& b);

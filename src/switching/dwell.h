@@ -56,6 +56,16 @@ struct DwellTables {
   [[nodiscard]] int max_t_minus() const;
 };
 
+/// Append canonical serializations to `out`: the analysis parameters
+/// (requirement, settling spec, granularity, caps — the dwell half of an
+/// engine::analysis::AppAnalysisKey; compute_dwell_tables is a pure
+/// function of the loop and this spec) and assembled tables (for
+/// bit-exact cached-vs-fresh comparisons), plus the tables' resident byte
+/// size for byte-budgeted caches.
+void append_canonical(std::string& out, const DwellAnalysisSpec& spec);
+void append_canonical(std::string& out, const DwellTables& tables);
+[[nodiscard]] std::size_t byte_cost(const DwellTables& tables);
+
 /// The settling map J(Tw, Tdw) used by Fig. 3: settling time in samples for
 /// every (wait, dwell) pair in the given ranges; nullopt when the pattern
 /// fails to settle within the horizon.

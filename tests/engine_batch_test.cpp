@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "casestudy/apps.h"
+#include "engine/analysis/analysis_cache.h"
 #include "engine/batch_runner.h"
 #include "engine/fingerprint.h"
 #include "engine/oracle/verdict_cache.h"
@@ -110,6 +111,56 @@ TEST(BatchRunner, FailingJobIsolatedFromTheBatch) {
 
 TEST(BatchRunner, EmptyBatch) {
   EXPECT_TRUE(BatchRunner(4).solve_all({}).empty());
+}
+
+TEST(BatchRunner, ReportCountsEveryFailedJob) {
+  // Two unmeetable requirements in one batch: the report must surface
+  // both failures, not just the first (the old outcome-only API left
+  // multi-failure batches silently under-reported unless the caller
+  // scanned every slot).
+  std::vector<BatchJob> jobs = small_batch();
+  jobs[1].specs[0].settling_requirement = 1;
+  jobs[3].specs[0].settling_requirement = 1;
+  const BatchReport report = BatchRunner(4).run(jobs);
+  EXPECT_EQ(report.failed, 2);
+  ASSERT_EQ(report.outcomes.size(), jobs.size());
+  EXPECT_TRUE(report.outcomes[0].ok());
+  EXPECT_FALSE(report.outcomes[1].ok());
+  EXPECT_TRUE(report.outcomes[2].ok());
+  EXPECT_FALSE(report.outcomes[3].ok());
+  // Aggregate stats cover the successful jobs; the summary line carries
+  // both the failure count and the SolveStats counters.
+  EXPECT_GT(report.stats.oracle_calls, 0);
+  const std::string line = report.summary();
+  EXPECT_NE(line.find("2 failed"), std::string::npos);
+  EXPECT_NE(line.find("analysis cache"), std::string::npos);
+}
+
+TEST(BatchRunner, SharedAnalysisCacheReusesAnalysesAcrossJobs) {
+  // The four jobs differ only in min_interarrival — not an analysis
+  // input — so with a shared cache the whole batch pays the stability +
+  // dwell cost exactly once.
+  std::vector<BatchJob> jobs = small_batch();
+  const auto cache = std::make_shared<analysis::AnalysisCache>();
+  for (BatchJob& job : jobs) job.options.analysis_cache = cache;
+  const BatchReport report = BatchRunner(1).run(jobs);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.stats.analysis_misses, 1);
+  EXPECT_EQ(report.stats.analysis_hits,
+            static_cast<long>(jobs.size()) - 1);
+  EXPECT_EQ(cache->stats().insertions, 1);
+  EXPECT_EQ(cache->stats().evictions, 0);
+
+  // Shared-cache outcomes are byte-identical to fully private solves.
+  const std::vector<BatchOutcome> reference =
+      BatchRunner(1).solve_all(small_batch());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_TRUE(report.outcomes[i].ok()) << report.outcomes[i].error;
+    ASSERT_TRUE(reference[i].ok()) << reference[i].error;
+    EXPECT_EQ(fingerprint(*report.outcomes[i].solution),
+              fingerprint(*reference[i].solution))
+        << "job " << i;
+  }
 }
 
 TEST(BatchRunner, MemoizedAndUncachedSolvesFingerprintIdentically) {

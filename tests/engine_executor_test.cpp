@@ -1,0 +1,144 @@
+// The persistent work-stealing Executor: exactly-once index execution,
+// real overlap from a lazily-grown pool, deterministic lowest-index
+// exception rethrow, nested submission without deadlock or thread
+// multiplication, and safe concurrent use from many submitting threads
+// (the TSan job runs this suite).
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/executor.h"
+#include "engine/parallel_for.h"
+#include "gtest/gtest.h"
+
+namespace ttdim::engine {
+namespace {
+
+TEST(Executor, EveryIndexRunsExactlyOnce) {
+  Executor executor;
+  std::vector<std::atomic<int>> hits(101);
+  for (auto& h : hits) h = 0;
+  executor.run(8, 101, [&](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Executor, OverlapsSleepBoundWork) {
+  // 8 x 100 ms on 8 attached threads must finish far below the 800 ms
+  // serial time, regardless of core count; 600 ms leaves room for
+  // scheduler noise on loaded CI machines.
+  Executor executor;
+  const auto t0 = std::chrono::steady_clock::now();
+  executor.run(8, 8, [](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+  EXPECT_LT(elapsed_ms, 600.0);
+}
+
+TEST(Executor, PoolGrowsLazilyAndStaysBounded) {
+  Executor executor;
+  EXPECT_EQ(executor.worker_count(), 0);  // nothing spawned yet
+  executor.run(6, 32, [](int) {});
+  const int after_first = executor.worker_count();
+  EXPECT_LE(after_first, 5);  // at most parallelism - 1 helpers
+  // Repeat runs reuse the pool instead of spawning per call.
+  for (int round = 0; round < 10; ++round) executor.run(6, 32, [](int) {});
+  EXPECT_EQ(executor.worker_count(), after_first);
+}
+
+TEST(Executor, CapZeroStillCompletesOnTheCaller) {
+  Executor executor(0);  // pool may never spawn a thread
+  std::atomic<int> sum{0};
+  executor.run(8, 100, [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+  EXPECT_EQ(executor.worker_count(), 0);
+}
+
+TEST(Executor, LowestIndexExceptionRethrownDeterministically) {
+  Executor executor;
+  // Two failures; whichever thread hits which first, index 3 must win.
+  std::atomic<int> executed{0};
+  try {
+    executor.run(4, 50, [&](int i) {
+      ++executed;
+      if (i == 17 || i == 3) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "3");
+  }
+  // All indices still ran: a failure never abandons sibling work.
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(Executor, SerialPathFailsFast) {
+  Executor executor;
+  int executed = 0;
+  EXPECT_THROW(executor.run(1, 50,
+                            [&](int i) {
+                              ++executed;
+                              if (i == 5) throw std::runtime_error("stop");
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(executed, 6);  // indices 0..5, nothing after the throw
+}
+
+TEST(Executor, NestedRunsShareOnePoolWithoutDeadlock) {
+  // Each outer index submits its own inner job to the same executor —
+  // the oversubscription scenario the persistent pool exists to fix.
+  // The submitting worker drains its own inner job, so this completes
+  // even when every pool thread is busy with outer work.
+  Executor executor;
+  std::atomic<int> inner_total{0};
+  executor.run(4, 4, [&](int) {
+    executor.run(4, 25, [&](int) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 100);
+  // The pool never multiplied threads for the nested layer: 3 helpers
+  // for the outer job, nested jobs rode the same workers.
+  EXPECT_LE(executor.worker_count(), 3);
+}
+
+TEST(Executor, ConcurrentSubmittersShareThePool) {
+  Executor executor;
+  constexpr int kSubmitters = 4;
+  std::vector<std::atomic<int>> sums(kSubmitters);
+  for (auto& s : sums) s = 0;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&executor, &sums, t] {
+      executor.run(3, 200, [&sums, t](int i) { sums[static_cast<size_t>(t)] += i; });
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (const auto& s : sums) EXPECT_EQ(s.load(), 19900);
+}
+
+TEST(ParallelFor, RunsOnTheGlobalPoolWithTheOldContract) {
+  // parallel_for_index is now a façade over Executor::global(): same
+  // exactly-once coverage, same thread-count independence, lowest-index
+  // rethrow instead of the old first-to-fail.
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  parallel_for_index(8, 64, [&](int i) { ++hits[static_cast<size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  try {
+    parallel_for_index(4, 20, [](int i) {
+      if (i >= 2) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "2");
+  }
+
+  EXPECT_THROW(parallel_for_index(-1, 4, [](int) {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ttdim::engine
