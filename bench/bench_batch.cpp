@@ -17,6 +17,8 @@
 #include "engine/analysis/analysis_cache.h"
 #include "engine/batch_runner.h"
 #include "engine/fingerprint.h"
+#include "engine/oracle/snapshot_cache.h"
+#include "engine/oracle/verdict_cache.h"
 
 namespace {
 
@@ -87,16 +89,21 @@ void report() {
   if (!all_identical) std::exit(1);
 }
 
+std::vector<core::AppSpec> case_study_specs() {
+  std::vector<core::AppSpec> specs;
+  for (const casestudy::App& app : casestudy::all_apps())
+    specs.push_back({app.name, app.plant, app.kt, app.ke,
+                     app.min_interarrival, app.settling_requirement});
+  return specs;
+}
+
 void BM_CaseStudySolveAnalysisWarm(benchmark::State& state) {
   // The analysis tier in isolation: a shared AnalysisCache warmed by one
   // solve, every other cache private and cold per iteration — so the
   // measured solves answer all six per-app stability/dwell analyses from
   // the cache (~microseconds) but still prove the mapping fresh. The
   // gap to BM_CaseStudySolve is the memoized ~stability+dwell cost.
-  std::vector<core::AppSpec> specs;
-  for (const casestudy::App& app : casestudy::all_apps())
-    specs.push_back({app.name, app.plant, app.kt, app.ke,
-                     app.min_interarrival, app.settling_requirement});
+  const std::vector<core::AppSpec> specs = case_study_specs();
   core::SolveOptions options;
   options.analysis_cache = std::make_shared<engine::analysis::AnalysisCache>();
   benchmark::DoNotOptimize(core::solve(specs, options));  // warm the cache
@@ -105,6 +112,42 @@ void BM_CaseStudySolveAnalysisWarm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CaseStudySolveAnalysisWarm)->Unit(benchmark::kMillisecond);
+
+void BM_CaseStudySolveSubsumptionWarm(benchmark::State& state) {
+  // The cross-config subsumption tier: all caches shared and warmed by
+  // one solve of the full six-app case study, then the measured solve is
+  // the five-app variant without C6 — a system whose first-fit probes
+  // were never posed exactly, so the exact tier misses, yet every probe
+  // is answered by multiset inclusion against the proven populations
+  // (subset of a safe slot, superset of the refuted one): the whole
+  // mapping phase runs with zero verifier BFS. The SolveStats
+  // subsumption counters printed after the timing loop are the
+  // fewer-fresh-proofs acceptance evidence.
+  const std::vector<core::AppSpec> specs = case_study_specs();
+  std::vector<core::AppSpec> five = specs;
+  five.pop_back();  // drop C6
+  core::SolveOptions options;
+  options.verdict_cache = std::make_shared<engine::oracle::VerdictCache>();
+  options.snapshot_cache = std::make_shared<engine::oracle::SnapshotCache>();
+  options.analysis_cache = std::make_shared<engine::analysis::AnalysisCache>();
+  benchmark::DoNotOptimize(core::solve(specs, options));  // warm all caches
+  engine::oracle::SolveStats last;
+  for (auto _ : state) {
+    const core::Solution solution = core::solve(five, options);
+    last = solution.stats;
+    benchmark::DoNotOptimize(&solution);
+  }
+  state.counters["subsumption_hits"] =
+      static_cast<double>(last.subsumption_hits);
+  state.counters["subsumption_cuts"] =
+      static_cast<double>(last.subsumption_cuts);
+  // cache_misses counts every verifier run (prefix-seeded AND from
+  // scratch); subtracting prefix_hits leaves the true fresh-BFS count.
+  state.counters["verifier_runs"] = static_cast<double>(last.cache_misses);
+  state.counters["fresh_bfs"] =
+      static_cast<double>(last.cache_misses - last.prefix_hits);
+}
+BENCHMARK(BM_CaseStudySolveSubsumptionWarm)->Unit(benchmark::kMillisecond);
 
 void BM_BatchSolve(benchmark::State& state) {
   const std::vector<engine::BatchJob> jobs =

@@ -1,7 +1,9 @@
 // The admission-oracle layer: end-to-end case-study solve time (the
 // ROADMAP's intra-solve hot path) across the oracle tiers — from-scratch
-// reference, cold three-tier solve, warm shared verdict cache (exact
-// hits), warm shared snapshot cache (prefix hits) — plus a CPU
+// reference, cold four-tier solve, warm shared verdict cache (exact
+// hits), warm shared snapshot cache (prefix hits; the cross-config
+// subsumption regime is bench_batch's BM_CaseStudySolveSubsumptionWarm)
+// — plus a CPU
 // calibration loop that lets scripts/check_bench_regression.py normalize
 // solve times across machines of different speed.
 #include <cstdio>

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Gate on benchmark regressions of the case-study solve.
 
-Compares fresh google-benchmark JSON reports (bench_oracle, and since the
-analysis-cache PR also bench_batch for BM_CaseStudySolveAnalysisWarm)
-against the checked-in bench/BENCH_baseline.json. Absolute times are
+Compares fresh google-benchmark JSON reports (bench_oracle, and since
+the analysis-cache PR also bench_batch for BM_CaseStudySolveAnalysisWarm
+and BM_CaseStudySolveSubsumptionWarm) against the checked-in
+bench/BENCH_baseline.json. Any gated benchmark that cannot be compared —
+missing from the current reports or the baseline, or normalized by an
+absent/zero calibration — fails the gate loudly; nothing is skipped. Absolute times are
 meaningless across machines, so every solve time is first normalized by
 the BM_Calibration time (a fixed CPU-bound loop, registered by every
 bench binary via bench_common.h) *from the same report*: the compared
@@ -36,6 +39,7 @@ GATED = [
     "BM_CaseStudySolveWarmCache",
     "BM_CaseStudySolvePrefixWarm",
     "BM_CaseStudySolveAnalysisWarm",
+    "BM_CaseStudySolveSubsumptionWarm",
 ]
 CALIBRATION = "BM_Calibration"
 
@@ -66,8 +70,11 @@ def time_of(times, name):
 
 def calibrated(groups, name, label):
     """Calibration units of `name`, normalized within the first group
-    that contains it. None (with a message) when absent everywhere or the
-    containing group lacks its own calibration."""
+    that contains it. None (with a FAIL message) when the benchmark is
+    absent everywhere, when the containing group lacks its own
+    calibration, or when that calibration is zero/negative — every one
+    of these must fail the gate loudly: a silently skipped benchmark
+    reads as "within threshold" while measuring nothing."""
     for times in groups:
         raw = time_of(times, name)
         if raw is None:
@@ -76,6 +83,11 @@ def calibrated(groups, name, label):
         if calibration is None:
             print(f"FAIL: the {label} report containing {name} has no "
                   f"{CALIBRATION} of its own")
+            return None
+        if calibration <= 0:
+            print(f"FAIL: the {label} report containing {name} has a "
+                  f"non-positive {CALIBRATION} time ({calibration!r}) — "
+                  f"cannot normalize")
             return None
         return raw / calibration
     print(f"FAIL: {name} missing from the {label} report(s)")
@@ -94,12 +106,27 @@ def main():
     current = [group for path in args.current for group in load_groups(path)]
     baseline = load_groups(args.baseline)
 
+    # A report that parsed but contains no benchmarks at all is a broken
+    # or truncated file, not an empty result set — refuse it rather than
+    # letting every lookup "miss" into messages about the wrong thing.
+    if not any(current):
+        print("FAIL: no benchmark entries in any current report")
+        return 1
+    if not any(baseline):
+        print(f"FAIL: no benchmark entries in the baseline {args.baseline}")
+        return 1
+
+    # Every gated benchmark is checked and reported before the gate
+    # decides: an early return on the first problem would silently skip
+    # the rest of the list.
     failed = False
+    broken = False
     for name in GATED:
         cur = calibrated(current, name, "current")
         base = calibrated(baseline, name, "baseline")
         if cur is None or base is None:
-            return 1
+            broken = True
+            continue
         change = cur / base - 1.0
         verdict = "ok"
         if change > args.threshold:
@@ -110,6 +137,15 @@ def main():
             f"calibration units ({change:+.1%}) {verdict}"
         )
 
+    if broken:
+        print(
+            "\nGate is incomplete: benchmark(s) or calibration missing "
+            "(see FAIL lines above). A gated benchmark that cannot be "
+            "compared fails the gate — it does not pass it. If a "
+            "benchmark was added or renamed, refresh "
+            "bench/BENCH_baseline.json."
+        )
+        return 1
     if failed:
         print(
             "\nCase-study solve regressed beyond the threshold. If the "

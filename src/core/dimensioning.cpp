@@ -142,13 +142,15 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
                     : std::make_shared<engine::oracle::SnapshotCache>();
   // Both caches disabled degrades to the reference one-fresh-proof-per-
   // probe behaviour, so a single oracle covers the whole option matrix.
-  const engine::oracle::IncrementalAdmissionOracle oracle(vopt, cache,
-                                                          snapshots);
+  const engine::oracle::IncrementalAdmissionOracle oracle(
+      vopt, cache, snapshots, options.subsumption_admission);
   const auto t_mapping = Clock::now();
   solution.proposed = mapping::first_fit(timings, order, oracle.slot_oracle());
   solution.stats.mapping_ms = ms_since(t_mapping);
   solution.stats.oracle_calls = oracle.calls();
   solution.stats.cache_hits = oracle.exact_hits();
+  solution.stats.subsumption_hits = oracle.subsumption_hits();
+  solution.stats.subsumption_cuts = oracle.subsumption_cuts();
   solution.stats.cache_misses = oracle.misses();
   solution.stats.verifier_states = oracle.states_explored();
   solution.stats.prefix_hits = oracle.prefix_hits();

@@ -76,6 +76,18 @@ struct SolveOptions {
   /// Snapshot cache shared across solves, like verdict_cache. nullptr +
   /// incremental_admission gives the solve a private cache.
   std::shared_ptr<engine::oracle::SnapshotCache> snapshot_cache;
+  /// Cross-config subsumption tier of the admission oracle
+  /// (engine/oracle/subsumption_index.h): admission is antitone in the
+  /// slot population, so a probe never posed exactly can be answered by
+  /// multiset inclusion against populations the verdict store has
+  /// proved — sub-populations of safe ones are safe, super-populations
+  /// of unsafe ones are unsafe, always under byte-identical verifier
+  /// options. The dimensioning result is byte-identical either way; the
+  /// tier pays off when the verdict cache is shared across solves of
+  /// overlapping-but-not-equal populations (batch sweeps that add or
+  /// drop applications). Requires memoize_admission (the index hangs off
+  /// the verdict store); ignored without it.
+  bool subsumption_admission = true;
   /// Memoize the per-application analysis phase (engine/analysis): the
   /// stability certificate and dwell tables of each plant/gain/spec
   /// tuple are answered from a content-addressed AnalysisCache instead

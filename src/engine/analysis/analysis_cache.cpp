@@ -1,7 +1,5 @@
 #include "engine/analysis/analysis_cache.h"
 
-#include "support/check.h"
-
 namespace ttdim::engine::analysis {
 
 std::size_t AppAnalysisResult::byte_cost() const {
@@ -20,9 +18,7 @@ void AppAnalysisResult::append_canonical(std::string& out) const {
 }
 
 AnalysisCache::AnalysisCache(std::size_t byte_budget)
-    : byte_budget_(byte_budget) {
-  TTDIM_EXPECTS(byte_budget >= 1);
-}
+    : cache_(byte_budget, &AnalysisCache::cost_of) {}
 
 std::size_t AnalysisCache::cost_of(const AppAnalysisKey& key,
                                    const AppAnalysisResult& result) {
@@ -32,59 +28,27 @@ std::size_t AnalysisCache::cost_of(const AppAnalysisKey& key,
 
 std::shared_ptr<const AppAnalysisResult> AnalysisCache::lookup(
     const AppAnalysisKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return nullptr;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  return cache_.lookup(key);
 }
 
 void AnalysisCache::insert(const AppAnalysisKey& key,
                            AppAnalysisResult result) {
-  const std::size_t cost = cost_of(key, result);
-  if (cost > byte_budget_) return;  // would evict everything for one entry
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (index_.find(key) != index_.end()) return;  // concurrent-miss duplicate
-  lru_.emplace_front(
-      key, std::make_shared<const AppAnalysisResult>(std::move(result)));
-  index_.emplace(key, lru_.begin());
-  bytes_ += cost;
-  insertions_.fetch_add(1, std::memory_order_relaxed);
-  while (bytes_ > byte_budget_ && lru_.size() > 1) {
-    const Entry& victim = lru_.back();
-    bytes_ -= cost_of(victim.first, *victim.second);
-    index_.erase(victim.first);
-    lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
+  cache_.insert(key, std::move(result));
 }
 
 AnalysisCacheStats AnalysisCache::stats() const {
+  const engine::cache::LruStats lru = cache_.stats();
   AnalysisCacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.insertions = insertions_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mutex_);
-  out.entries = lru_.size();
-  out.bytes = bytes_;
-  out.byte_budget = byte_budget_;
+  out.hits = lru.hits;
+  out.misses = lru.misses;
+  out.insertions = lru.insertions;
+  out.evictions = lru.evictions;
+  out.entries = lru.entries;
+  out.bytes = lru.cost;
+  out.byte_budget = lru.budget;
   return out;
 }
 
-void AnalysisCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  bytes_ = 0;
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  insertions_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
-}
+void AnalysisCache::clear() { cache_.clear(); }
 
 }  // namespace ttdim::engine::analysis

@@ -9,20 +9,17 @@
 // Entries are handed out as shared_ptr<const ...> so an eviction never
 // invalidates a reader, and results are deterministic functions of their
 // key, so concurrent misses that both compute and insert are benign (the
-// second insert is a no-op on an interchangeable value).
+// second insert is a no-op on an interchangeable value). Built on the
+// unified LRU core (engine/cache/lru_cache.h) with a byte-cost hook.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
-#include <utility>
 
 #include "control/design.h"
 #include "engine/analysis/analysis_key.h"
+#include "engine/cache/lru_cache.h"
 #include "switching/dwell.h"
 
 namespace ttdim::engine::analysis {
@@ -44,8 +41,8 @@ struct AppAnalysisResult {
   void append_canonical(std::string& out) const;
 };
 
-/// Monotonic counters (each individually atomic; see VerdictCache's
-/// CacheStats for the snapshot semantics).
+/// Monotonic counters (see engine::cache::LruStats for the lock-free
+/// snapshot semantics).
 struct AnalysisCacheStats {
   long hits = 0;
   long misses = 0;
@@ -79,23 +76,11 @@ class AnalysisCache {
   void clear();
 
  private:
-  using Entry =
-      std::pair<AppAnalysisKey, std::shared_ptr<const AppAnalysisResult>>;
-
   static std::size_t cost_of(const AppAnalysisKey& key,
                              const AppAnalysisResult& result);
 
-  mutable std::mutex mutex_;
-  std::size_t byte_budget_;
-  std::size_t bytes_ = 0;  ///< guarded by mutex_
-  std::list<Entry> lru_;   ///< front = most recently used
-  std::unordered_map<AppAnalysisKey, std::list<Entry>::iterator,
-                     AppAnalysisKeyHash>
-      index_;
-  std::atomic<long> hits_{0};
-  std::atomic<long> misses_{0};
-  std::atomic<long> insertions_{0};
-  std::atomic<long> evictions_{0};
+  engine::cache::LruCache<AppAnalysisKey, AppAnalysisResult, AppAnalysisKeyHash>
+      cache_;
 };
 
 }  // namespace ttdim::engine::analysis

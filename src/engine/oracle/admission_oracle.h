@@ -5,10 +5,10 @@
 // contend on the cache mutex and on the atomic counters.
 //
 // This is the two-tier (exact-hit or fresh-proof) reference layer;
-// core::solve routes probes through the three-tier
+// core::solve routes probes through the four-tier
 // IncrementalAdmissionOracle (incremental_oracle.h), which keeps this
-// exact-hit tier first and adds prefix-snapshot extension between it and
-// the fresh proof.
+// exact-hit tier first and adds cross-config subsumption and
+// prefix-snapshot extension between it and the fresh proof.
 #pragma once
 
 #include <atomic>

@@ -9,10 +9,11 @@ namespace ttdim::engine::oracle {
 IncrementalAdmissionOracle::IncrementalAdmissionOracle(
     verify::DiscreteVerifier::Options options,
     std::shared_ptr<VerdictCache> verdicts,
-    std::shared_ptr<SnapshotCache> snapshots)
+    std::shared_ptr<SnapshotCache> snapshots, bool subsumption)
     : options_(options),
       verdicts_(std::move(verdicts)),
-      snapshots_(std::move(snapshots)) {}
+      snapshots_(std::move(snapshots)),
+      subsumption_(subsumption && verdicts_ != nullptr) {}
 
 verify::SlotVerdict IncrementalAdmissionOracle::verify(
     const std::vector<verify::AppTiming>& slot_apps) const {
@@ -31,7 +32,11 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
   }
 
   // ---- Tier 1: exact hit on the canonical (order-independent) key. ------
-  const SlotConfigKey key = SlotConfigKey::of(slot_apps, options_);
+  // The decomposition is computed once: the tokens are the subsumption
+  // tier's inclusion domain, and their concatenation is the cache key.
+  const SlotPopulationTokens tokens =
+      SlotConfigKey::tokens_of(slot_apps, options_);
+  const SlotConfigKey key = SlotConfigKey::of(tokens);
   if (verdicts_ != nullptr) {
     if (std::optional<verify::SlotVerdict> cached = verdicts_->lookup(key)) {
       exact_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -39,7 +44,33 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
     }
   }
 
-  // ---- Tier 2: longest cached ordered prefix. ---------------------------
+  // ---- Tier 2: cross-config subsumption. --------------------------------
+  // A never-seen probe included in a proven-safe population (or including
+  // a proven-unsafe one) is answered by antitonicity without any search.
+  // The synthesized verdict carries only the admission boolean (the
+  // probe's own reachable set was never explored, so states_explored
+  // stays 0); it is never cached — the index entry that answered it is
+  // strictly stronger — and the walk consumes only `safe`.
+  if (subsumption_) {
+    if (std::optional<SubsumptionIndex::ProbeAnswer> included =
+            verdicts_->subsumption().probe(tokens)) {
+      (included->safe ? subsumption_hits_ : subsumption_cuts_)
+          .fetch_add(1, std::memory_order_relaxed);
+      // A safe match is backed by a cached verdict whose LRU recency
+      // would otherwise never be touched (the probes it answers carry
+      // different keys): refresh it here, outside both locks, so the
+      // populations answering the most inclusion probes are the last
+      // ones evicted — mirroring the unsafe side's internal refresh.
+      // touch(), not lookup(): the store's hit rate keeps reflecting
+      // only the exact-hit traffic it served itself.
+      if (included->safe) verdicts_->touch(included->source);
+      verify::SlotVerdict verdict;
+      verdict.safe = included->safe;
+      return verdict;
+    }
+  }
+
+  // ---- Tier 3: longest cached ordered prefix. ---------------------------
   // A snapshot of the *whole* ordered population is itself an exact
   // answer: it only exists for a completed safe proof, whose verdict is
   // fully determined by the record count (safe, states = |reachable set|,
@@ -56,6 +87,10 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
         verify::SlotVerdict verdict;
         verdict.safe = true;
         verdict.states_explored = static_cast<long>(seed->state_count());
+        // Note-then-insert: the verdict store's eviction hook erases
+        // noted populations, so noting first means the hook can never
+        // run for a key the index has not seen yet.
+        if (subsumption_) verdicts_->subsumption().note_safe(key, tokens);
         if (verdicts_ != nullptr) verdicts_->insert(key, verdict);
         return verdict;
       }
@@ -86,7 +121,13 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
     try {
       verify::SlotVerdict dive = verifier.verify(refute);
       states_.fetch_add(dive.states_explored, std::memory_order_relaxed);
-      if (!dive.safe) return dive;
+      if (!dive.safe) {
+        // The dive's refutation is exact (it explores reachable states
+        // only), so the population is genuinely unsafe: record it for
+        // the subsumption tier — its supersets are unsafe too.
+        if (subsumption_) verdicts_->subsumption().note_unsafe(key, tokens);
+        return dive;
+      }
       // Safe within the dive budget: the reachable set is small, but the
       // snapshot still needs the FIFO discovery log — fall through to the
       // (equally small) seeded proof. Verdicts agree byte-for-byte: both
@@ -97,7 +138,7 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
     }
   }
 
-  // ---- Tier 3 (or seeded tier 2): run the verifier. ---------------------
+  // ---- Tier 4 (or seeded tier 3): run the verifier. ---------------------
   verify::ExplorationState captured;
   verify::ExplorationState* capture =
       snapshots_ != nullptr ? &captured : nullptr;
@@ -119,12 +160,17 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
     // verdict stops at the first violation found, so its violator and
     // state count depend on the query/seed; those re-prove fresh (they
     // are the cheap case: the search stops early). Snapshots likewise
-    // exist only for completed — safe — explorations.
+    // exist only for completed — safe — explorations. The population
+    // itself is noted either way: the subsumption tier needs only the
+    // admission boolean, which IS invariant.
+    if (subsumption_) verdicts_->subsumption().note_safe(key, tokens);
     if (verdicts_ != nullptr) verdicts_->insert(key, verdict);
     if (snapshots_ != nullptr)
       snapshots_->insert(
           SlotConfigKey::prefix_of(slot_apps, slot_apps.size(), options_),
           std::move(captured));
+  } else if (subsumption_) {
+    verdicts_->subsumption().note_unsafe(key, tokens);
   }
   return verdict;
 }

@@ -1,23 +1,34 @@
-// The incremental admission oracle: the three-tier layer between the
+// The incremental admission oracle: the four-tier layer between the
 // mapping walks (mapping::first_fit / best_fit, core::solve) and
 // verify::DiscreteVerifier.
 //
 //   tier 1  exact hit      — the canonical SlotConfigKey is already in the
 //                            VerdictCache (the PR-2 memoized layer);
-//   tier 2  prefix hit     — the probe's ordered prefix {slot} has a
+//   tier 2  subsumption    — a never-seen probe is answered by multiset
+//                            inclusion against the populations the verdict
+//                            store has proved: admission is antitone, so a
+//                            sub-population of a safe one is safe and a
+//                            super-population of an unsafe one is unsafe
+//                            (subsumption_index.h details the argument and
+//                            its byte-identical-options guard);
+//   tier 3  prefix hit     — the probe's ordered prefix {slot} has a
 //                            reachable-set snapshot in the SnapshotCache,
 //                            and the verifier extends that snapshot with
 //                            the appended candidate instead of re-proving
 //                            the prefix from scratch;
-//   tier 3  fresh proof    — full BFS from the initial state.
+//   tier 4  fresh proof    — full BFS from the initial state.
 //
-// Tiers 2 and 3 capture the snapshot of every *safe* proof, so a slot's
+// Tiers 3 and 4 capture the snapshot of every *safe* proof, so a slot's
 // population — which is exactly the prefix of every later probe against
 // that slot — is explored at most once per cache lifetime. Admission
 // answers are identical across tiers by construction (discrete.h details
-// the soundness argument); safe verdicts are byte-identical, unsafe ones
-// agree on `safe` but may differ in the violation found, which is why
-// only safe verdicts enter the VerdictCache.
+// the prefix soundness argument); safe verdicts of tiers 1/3/4 are
+// byte-identical, unsafe ones agree on `safe` but may differ in the
+// violation found, which is why only safe verdicts enter the
+// VerdictCache. Tier-2 answers are admission booleans synthesized from
+// inclusion — their verdict carries no state count — so they are never
+// cached and never re-noted; every population the index holds was proved
+// by a real verifier run.
 //
 // Thread-safe like the memoized layer: concurrent queries contend only on
 // the cache mutexes and the atomic counters.
@@ -41,10 +52,15 @@ class IncrementalAdmissionOracle {
   /// verifies every query fresh (the reference behaviour), (cache,
   /// nullptr) reproduces the PR-2 memoized oracle exactly, and a shared
   /// SnapshotCache extends prefix reuse across solves (batch jobs, a
-  /// serve process).
+  /// serve process). `subsumption` gates tier 2 — it lives in the
+  /// verdict store's SubsumptionIndex, so it needs `verdicts` non-null
+  /// and is shared exactly as far as the verdict cache is; disabled (or
+  /// with no verdict store) the oracle reproduces the PR-3 three-tier
+  /// behaviour, including never touching the index.
   IncrementalAdmissionOracle(verify::DiscreteVerifier::Options options,
                              std::shared_ptr<VerdictCache> verdicts,
-                             std::shared_ptr<SnapshotCache> snapshots);
+                             std::shared_ptr<SnapshotCache> snapshots,
+                             bool subsumption = true);
 
   /// Full verdict for one slot population. Witness queries
   /// (options.want_witness) and depth-first traversals bypass both caches
@@ -78,9 +94,18 @@ class IncrementalAdmissionOracle {
   [[nodiscard]] long calls() const noexcept { return calls_.load(); }
   /// Tier-1 answers served from the VerdictCache.
   [[nodiscard]] long exact_hits() const noexcept { return exact_hits_.load(); }
-  /// Queries that had to run the verifier (tiers 2 and 3).
+  /// Tier-2 safe answers: probe included in a proven-safe population.
+  [[nodiscard]] long subsumption_hits() const noexcept {
+    return subsumption_hits_.load();
+  }
+  /// Tier-2 unsafe answers: probe includes a proven-unsafe population
+  /// (a refutation shortcut — no dive, no search).
+  [[nodiscard]] long subsumption_cuts() const noexcept {
+    return subsumption_cuts_.load();
+  }
+  /// Queries that had to run the verifier (tiers 3 and 4).
   [[nodiscard]] long misses() const noexcept { return misses_.load(); }
-  /// Tier-2 runs: verifier extended a cached prefix snapshot.
+  /// Tier-3 runs: verifier extended a cached prefix snapshot.
   [[nodiscard]] long prefix_hits() const noexcept {
     return prefix_hits_.load();
   }
@@ -101,8 +126,11 @@ class IncrementalAdmissionOracle {
   verify::DiscreteVerifier::Options options_;
   std::shared_ptr<VerdictCache> verdicts_;
   std::shared_ptr<SnapshotCache> snapshots_;
+  bool subsumption_;
   mutable std::atomic<long> calls_{0};
   mutable std::atomic<long> exact_hits_{0};
+  mutable std::atomic<long> subsumption_hits_{0};
+  mutable std::atomic<long> subsumption_cuts_{0};
   mutable std::atomic<long> misses_{0};
   mutable std::atomic<long> prefix_hits_{0};
   mutable std::atomic<long> states_{0};

@@ -29,10 +29,20 @@ std::string serialize_app(const verify::AppTiming& app) {
 
 namespace {
 
-SlotConfigKey assemble(std::vector<std::string> parts, const char* tag,
-                       const verify::DiscreteVerifier::Options& options) {
+std::string options_suffix_of(const verify::DiscreteVerifier::Options& options) {
+  std::string s = "p=";
+  s += std::to_string(static_cast<int>(options.policy));
+  s += ";d=";
+  s += std::to_string(options.max_disturbances_per_app);
+  s += ";s=";
+  s += std::to_string(options.max_states);
+  return s;
+}
+
+SlotConfigKey assemble(const std::vector<std::string>& parts, const char* tag,
+                       const std::string& options_suffix) {
   SlotConfigKey key;
-  std::size_t total = 24;
+  std::size_t total = 8 + options_suffix.size();
   for (const std::string& p : parts) total += p.size() + 1;
   key.canonical.reserve(total);
   key.canonical += tag;
@@ -40,34 +50,33 @@ SlotConfigKey assemble(std::vector<std::string> parts, const char* tag,
     key.canonical += p;
     key.canonical += ';';
   }
-  key.canonical += "p=";
-  key.canonical += std::to_string(static_cast<int>(options.policy));
-  key.canonical += ";d=";
-  key.canonical += std::to_string(options.max_disturbances_per_app);
-  key.canonical += ";s=";
-  key.canonical += std::to_string(options.max_states);
-
-  // FNV-1a; equality re-checks the canonical string, so the hash only has
-  // to spread buckets.
-  std::uint64_t h = 1469598103934665603ull;
-  for (char c : key.canonical) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  key.hash = h;
+  key.canonical += options_suffix;
+  key.hash = fnv1a(key.canonical);
   return key;
 }
 
 }  // namespace
 
+SlotPopulationTokens SlotConfigKey::tokens_of(
+    const std::vector<verify::AppTiming>& apps,
+    const verify::DiscreteVerifier::Options& options) {
+  SlotPopulationTokens tokens;
+  tokens.apps.reserve(apps.size());
+  for (const verify::AppTiming& app : apps)
+    tokens.apps.push_back(serialize_app(app));
+  std::sort(tokens.apps.begin(), tokens.apps.end());
+  tokens.options = options_suffix_of(options);
+  return tokens;
+}
+
+SlotConfigKey SlotConfigKey::of(const SlotPopulationTokens& tokens) {
+  return assemble(tokens.apps, "", tokens.options);
+}
+
 SlotConfigKey SlotConfigKey::of(
     const std::vector<verify::AppTiming>& apps,
     const verify::DiscreteVerifier::Options& options) {
-  std::vector<std::string> parts;
-  parts.reserve(apps.size());
-  for (const verify::AppTiming& app : apps) parts.push_back(serialize_app(app));
-  std::sort(parts.begin(), parts.end());
-  return assemble(std::move(parts), "", options);
+  return of(tokens_of(apps, options));
 }
 
 SlotConfigKey SlotConfigKey::prefix_of(
@@ -79,7 +88,15 @@ SlotConfigKey SlotConfigKey::prefix_of(
   for (std::size_t i = 0; i < prefix_len; ++i)
     parts.push_back(serialize_app(apps[i]));
   // No sort: byte positions in the snapshot follow member order.
-  return assemble(std::move(parts), "ord:", options);
+  return assemble(parts, "ord:", options_suffix_of(options));
+}
+
+std::string_view SlotConfigKey::options_suffix() const {
+  // App tokens are digits and [,;+-], the ordered tag is "ord:"; the
+  // first '=' therefore belongs to the "p=" that opens the suffix.
+  const std::size_t at = canonical.find("p=");
+  TTDIM_EXPECTS(at != std::string::npos);
+  return std::string_view(canonical).substr(at);
 }
 
 }  // namespace ttdim::engine::oracle

@@ -8,12 +8,44 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "verify/app_timing.h"
 #include "verify/discrete.h"
 
 namespace ttdim::engine::oracle {
+
+/// FNV-1a over a byte string — the one hash primitive of the oracle
+/// layer: SlotConfigKey spreads buckets with it (equality re-checks the
+/// canonical bytes) and the SubsumptionIndex derives its per-member
+/// signature bits from it. Shared so the constants can never diverge.
+[[nodiscard]] inline std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Canonical decomposition of a (set) key: the sorted per-app timing
+/// tokens and the verdict-affecting options suffix, i.e. exactly the two
+/// halves the canonical serialization concatenates. This is the domain
+/// of the subsumption tier (engine/oracle/subsumption_index.h): two
+/// populations are subsumption-comparable only under byte-identical
+/// `options` (policy, disturbance bound AND state budget — a verdict
+/// proven under one budget says nothing about another), and within that
+/// group the admission check is antitone in the multiset `apps` — any
+/// sub-multiset of a safe population is safe, any super-multiset of an
+/// unsafe one is unsafe. Each token serializes one application's full
+/// timing abstraction (T*w, r, T-dw[], T+dw[] — names excluded), so
+/// multiset inclusion over tokens is inclusion over timing-identical
+/// application populations.
+struct SlotPopulationTokens {
+  std::vector<std::string> apps;  ///< sorted per-app serializations
+  std::string options;            ///< "p=<policy>;d=<dist>;s=<budget>"
+};
 
 /// Value key for the verdict cache. `canonical` is the full normalized
 /// serialization (equality never trusts the hash alone: an admission
@@ -33,6 +65,24 @@ struct SlotConfigKey {
   [[nodiscard]] static SlotConfigKey of(
       const std::vector<verify::AppTiming>& apps,
       const verify::DiscreteVerifier::Options& options);
+
+  /// The canonical decomposition `of` concatenates: sorted per-app
+  /// tokens + options suffix. `of(tokens_of(apps, o))` is byte-identical
+  /// to `of(apps, o)` (pinned by tests/subsumption_test.cpp), so a
+  /// caller that needs both the inclusion domain and the cache key
+  /// serializes each application once.
+  [[nodiscard]] static SlotPopulationTokens tokens_of(
+      const std::vector<verify::AppTiming>& apps,
+      const verify::DiscreteVerifier::Options& options);
+
+  /// Reassemble the canonical key from its decomposition.
+  [[nodiscard]] static SlotConfigKey of(const SlotPopulationTokens& tokens);
+
+  /// The options suffix ("p=..;d=..;s=..") of this key — the grouping
+  /// domain of the subsumption index. Works for canonical and ordered
+  /// keys alike: app tokens and the "ord:" tag draw from [0-9,;+-:], so
+  /// '=' first appears in the suffix.
+  [[nodiscard]] std::string_view options_suffix() const;
 
   /// Key of the *ordered* prefix apps[0 .. prefix_len): the identity of a
   /// reachable-set snapshot (engine/oracle/snapshot_cache.h). Unlike the

@@ -9,23 +9,21 @@
 // case-study probe is ~17 MB), so the cache is bounded by a byte budget
 // rather than an entry count, and entries are handed out as
 // shared_ptr<const ...> so an eviction never invalidates a reader.
+// Built on the unified LRU core (engine/cache/lru_cache.h) with a
+// byte-cost hook.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <list>
 #include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <utility>
 
+#include "engine/cache/lru_cache.h"
 #include "engine/oracle/slot_config_key.h"
 #include "verify/discrete.h"
 
 namespace ttdim::engine::oracle {
 
-/// Monotonic counters (each individually atomic; see VerdictCache's
-/// CacheStats for the snapshot semantics).
+/// Monotonic counters (see engine::cache::LruStats for the lock-free
+/// snapshot semantics).
 struct SnapshotCacheStats {
   long hits = 0;
   long misses = 0;
@@ -58,23 +56,11 @@ class SnapshotCache {
   void clear();
 
  private:
-  using Entry =
-      std::pair<SlotConfigKey, std::shared_ptr<const verify::ExplorationState>>;
-
   static std::size_t cost_of(const SlotConfigKey& key,
                              const verify::ExplorationState& snapshot);
 
-  mutable std::mutex mutex_;
-  std::size_t byte_budget_;
-  std::size_t bytes_ = 0;  ///< guarded by mutex_
-  std::list<Entry> lru_;   ///< front = most recently used
-  std::unordered_map<SlotConfigKey, std::list<Entry>::iterator,
-                     SlotConfigKeyHash>
-      index_;
-  std::atomic<long> hits_{0};
-  std::atomic<long> misses_{0};
-  std::atomic<long> insertions_{0};
-  std::atomic<long> evictions_{0};
+  cache::LruCache<SlotConfigKey, verify::ExplorationState, SlotConfigKeyHash>
+      cache_;
 };
 
 }  // namespace ttdim::engine::oracle

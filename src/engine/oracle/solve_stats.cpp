@@ -6,17 +6,18 @@
 namespace ttdim::engine::oracle {
 
 std::string SolveStats::summary() const {
-  char buf[448];
+  char buf[512];
   std::snprintf(
       buf, sizeof(buf),
       "total %.1f ms (analysis %.1f [cold: stability %.1f, dwell %.1f], "
       "mapping %.1f, baseline %.1f) | analysis cache %ld hits, %ld misses, "
       "%ld evictions | oracle %ld calls, %ld hits, %ld misses, %ld states | "
-      "prefix %ld hits, %ld reused, %ld extended",
+      "subsumption %ld hits, %ld cuts | prefix %ld hits, %ld reused, "
+      "%ld extended",
       total_ms, analysis_ms, stability_ms, dwell_ms, mapping_ms, baseline_ms,
       analysis_hits, analysis_misses, analysis_evictions, oracle_calls,
-      cache_hits, cache_misses, verifier_states, prefix_hits, states_reused,
-      states_extended);
+      cache_hits, cache_misses, verifier_states, subsumption_hits,
+      subsumption_cuts, prefix_hits, states_reused, states_extended);
   return buf;
 }
 
@@ -30,6 +31,8 @@ SolveStats operator+(const SolveStats& a, const SolveStats& b) {
   out.total_ms = a.total_ms + b.total_ms;
   out.oracle_calls = a.oracle_calls + b.oracle_calls;
   out.cache_hits = a.cache_hits + b.cache_hits;
+  out.subsumption_hits = a.subsumption_hits + b.subsumption_hits;
+  out.subsumption_cuts = a.subsumption_cuts + b.subsumption_cuts;
   out.cache_misses = a.cache_misses + b.cache_misses;
   out.verifier_states = a.verifier_states + b.verifier_states;
   out.prefix_hits = a.prefix_hits + b.prefix_hits;

@@ -36,12 +36,19 @@ struct SolveStats {
   double total_ms = 0.0;
 
   // Admission-oracle counters (proposed mapping only; the baselines use
-  // the closed-form [9] analysis, not the verifier). The three tiers of
-  // the incremental oracle report as: cache_hits (tier 1, exact verdict),
-  // prefix_hits (tier 2, extended a cached reachable-set snapshot), and
-  // the remainder of cache_misses (tier 3, proved from scratch).
+  // the closed-form [9] analysis, not the verifier). The four tiers of
+  // the incremental oracle report as: cache_hits (tier 1, exact
+  // verdict), subsumption_hits/subsumption_cuts (tier 2, answered by
+  // multiset inclusion against proven populations — no verifier run, so
+  // they count in neither cache_hits nor cache_misses), prefix_hits
+  // (tier 3, extended a cached reachable-set snapshot), and the
+  // remainder of cache_misses (tier 4, proved from scratch):
+  // oracle_calls = cache_hits + subsumption_hits + subsumption_cuts +
+  // cache_misses.
   long oracle_calls = 0;      ///< admission queries posed by the walk
   long cache_hits = 0;        ///< answered from the VerdictCache
+  long subsumption_hits = 0;  ///< safe by inclusion in a safe population
+  long subsumption_cuts = 0;  ///< unsafe by including an unsafe population
   long cache_misses = 0;      ///< required a DiscreteVerifier run
   long verifier_states = 0;   ///< states explored by verifier runs
   long prefix_hits = 0;       ///< runs seeded from a prefix snapshot

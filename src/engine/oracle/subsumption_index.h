@@ -1,0 +1,147 @@
+// Cross-config subsumption tier of the admission oracle: the admission
+// check is *antitone* in the slot population — adding an application can
+// only add interference (while steady and undisturbed it is invisible to
+// every transition rule, so each behaviour of the smaller system embeds
+// into the larger one; see the seeding soundness argument in
+// verify/discrete.h) — so
+//
+//   probe ⊆ cached-safe population    =>  probe is safe,
+//   probe ⊇ cached-unsafe population  =>  probe is unsafe,
+//
+// with ⊆ the multiset inclusion over per-application timing tokens
+// (SlotPopulationTokens), valid ONLY under byte-identical verifier
+// options: policy and disturbance bound shape the transition system, and
+// the state budget bounds which proofs complete at all, so entries are
+// grouped by the options suffix and never compared across groups.
+//
+// Budget fine print: a safe answer never outruns the budget (the subset's
+// reachable set embeds injectively into the superset's, so its fresh
+// proof completes within the same budget with the same verdict). An
+// unsafe answer can cover a probe whose fresh BFS would have exhausted
+// the budget before meeting the violation — the tier then answers
+// "unsafe" where the reference path would throw. That strictly extends
+// the solvable set and never flips a completed verdict; with the default
+// 2e8-state budget the case never arises in practice.
+//
+// Consistency: the safe side mirrors the unified verdict store — the
+// oracle notes a safe population immediately before inserting its
+// verdict, and VerdictCache's LRU eviction hook (engine/cache/lru_cache.h)
+// erases it again — so safe entries never outlive their verdicts beyond
+// the note/insert race window. The unsafe side has no backing store
+// (unsafe verdicts are never cached: their details are query-dependent);
+// it bounds itself with its own LruCache of populations whose eviction
+// hook prunes the inclusion groups.
+//
+// Thread-safe; every operation serializes on one internal mutex (probes
+// are linear scans of one options group with a 64-bit signature
+// prefilter — microseconds against proofs costing milliseconds to
+// seconds). Lock ordering: VerdictCache mutex -> index mutex -> internal
+// unsafe-LRU mutex; nothing here ever calls back into the verdict store.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/cache/lru_cache.h"
+#include "engine/oracle/slot_config_key.h"
+
+namespace ttdim::engine::oracle {
+
+/// Monotonic counters (each individually atomic; see LruStats for the
+/// snapshot semantics).
+struct SubsumptionStats {
+  long probes = 0;
+  long safe_hits = 0;    ///< probe ⊆ a recorded safe population
+  long unsafe_hits = 0;  ///< probe ⊇ a recorded unsafe population
+  std::size_t safe_entries = 0;
+  std::size_t unsafe_entries = 0;
+  long unsafe_evictions = 0;
+};
+
+class SubsumptionIndex {
+ public:
+  /// Bound on recorded unsafe populations (the safe side is bounded by
+  /// the verdict store it mirrors). Matches VerdictCache::kDefaultCapacity.
+  static constexpr std::size_t kDefaultUnsafeCapacity = 4096;
+
+  explicit SubsumptionIndex(
+      std::size_t unsafe_capacity = kDefaultUnsafeCapacity);
+
+  /// A positive inclusion answer: the admission verdict plus the key of
+  /// the recorded population that subsumed the probe. The source key is
+  /// how recency flows back to the bounding store: unsafe matches are
+  /// refreshed internally (the unsafe LRU is ours), but a safe match's
+  /// lifetime is owned by the mirroring VerdictCache, which this index
+  /// must never call into (lock order: cache mutex -> index mutex) — so
+  /// the caller, outside both locks, calls `verdicts->touch(source)`
+  /// to keep hot safe populations off the eviction tail.
+  struct ProbeAnswer {
+    bool safe = false;
+    SlotConfigKey source;
+  };
+
+  /// Inclusion query. nullopt when no recorded population subsumes the
+  /// probe. Only consults entries whose options suffix equals
+  /// `probe.options` byte-for-byte.
+  [[nodiscard]] std::optional<ProbeAnswer> probe(
+      const SlotPopulationTokens& probe) const;
+
+  /// Record a proven-safe population. Idempotent per key. Call *before*
+  /// inserting the verdict into the mirroring VerdictCache, so the
+  /// store's eviction hook can never fire for a key not yet noted.
+  void note_safe(const SlotConfigKey& key, const SlotPopulationTokens& tokens);
+
+  /// Drop the safe record for `key` (the verdict store's eviction hook
+  /// target); no-op when absent.
+  void erase_safe(const SlotConfigKey& key);
+
+  /// Record a proven-unsafe population in the self-bounded unsafe store.
+  /// Idempotent per key; the least recently matched population is evicted
+  /// past the capacity.
+  void note_unsafe(const SlotConfigKey& key,
+                   const SlotPopulationTokens& tokens);
+
+  [[nodiscard]] SubsumptionStats stats() const;
+  void clear();
+
+ private:
+  /// One recorded population: its sorted tokens plus a 64-bit member
+  /// signature (bit h(token) mod 64 set per member) — a cheap
+  /// no-false-negative inclusion prefilter.
+  struct Population {
+    std::vector<std::string> apps;
+    std::uint64_t signature = 0;
+  };
+  /// Populations comparable to each other: byte-identical options suffix.
+  struct Group {
+    std::unordered_map<SlotConfigKey, Population, SlotConfigKeyHash> safe;
+    std::unordered_map<SlotConfigKey, Population, SlotConfigKeyHash> unsafe;
+  };
+
+  void erase_unsafe_locked(const SlotConfigKey& key,
+                           const std::string& options);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Group> groups_;  ///< guarded by mutex_
+  /// Recency + bound for the unsafe side, on the unified LRU template;
+  /// the value is the owning group's options suffix so the eviction hook
+  /// can find and prune the inclusion entry. Only touched with mutex_
+  /// held, so the hook may mutate groups_ without re-locking. mutable:
+  /// probe() refreshes the recency of matched entries.
+  mutable cache::LruCache<SlotConfigKey, std::string, SlotConfigKeyHash>
+      unsafe_lru_;
+  // mutable: probe() is logically read-only but counts itself.
+  mutable std::atomic<long> probes_{0};
+  mutable std::atomic<long> safe_hits_{0};
+  mutable std::atomic<long> unsafe_hits_{0};
+  std::atomic<std::size_t> safe_entries_{0};
+};
+
+}  // namespace ttdim::engine::oracle

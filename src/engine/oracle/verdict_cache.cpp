@@ -1,61 +1,45 @@
 #include "engine/oracle/verdict_cache.h"
 
-#include "support/check.h"
+#include <utility>
 
 namespace ttdim::engine::oracle {
 
-VerdictCache::VerdictCache(std::size_t capacity) : capacity_(capacity) {
-  TTDIM_EXPECTS(capacity >= 1);
-}
+VerdictCache::VerdictCache(std::size_t capacity)
+    : cache_(capacity, nullptr,
+             [this](const SlotConfigKey& key, const verify::SlotVerdict&) {
+               // Lock order: cache mutex (held here) -> index mutex.
+               subsumption_.erase_safe(key);
+             }) {}
 
 std::optional<verify::SlotVerdict> VerdictCache::lookup(
     const SlotConfigKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  lru_.splice(lru_.begin(), lru_, it->second);
-  return it->second->second;
+  if (std::shared_ptr<const verify::SlotVerdict> hit = cache_.lookup(key))
+    return *hit;
+  return std::nullopt;
 }
 
 void VerdictCache::insert(const SlotConfigKey& key,
                           verify::SlotVerdict verdict) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (index_.find(key) != index_.end()) return;  // concurrent-miss duplicate
-  lru_.emplace_front(key, std::move(verdict));
-  index_.emplace(key, lru_.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
-  }
-  size_.store(lru_.size(), std::memory_order_relaxed);
+  cache_.insert(key, std::move(verdict));
 }
 
+void VerdictCache::touch(const SlotConfigKey& key) { cache_.touch(key); }
+
 CacheStats VerdictCache::stats() const {
+  const cache::LruStats lru = cache_.stats();
   CacheStats out;
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
-  out.insertions = insertions_.load(std::memory_order_relaxed);
-  out.evictions = evictions_.load(std::memory_order_relaxed);
-  out.size = size_.load(std::memory_order_relaxed);
-  out.capacity = capacity_;
+  out.hits = lru.hits;
+  out.misses = lru.misses;
+  out.insertions = lru.insertions;
+  out.evictions = lru.evictions;
+  out.size = lru.entries;
+  out.capacity = lru.budget;
   return out;
 }
 
 void VerdictCache::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  lru_.clear();
-  index_.clear();
-  hits_.store(0, std::memory_order_relaxed);
-  misses_.store(0, std::memory_order_relaxed);
-  insertions_.store(0, std::memory_order_relaxed);
-  evictions_.store(0, std::memory_order_relaxed);
-  size_.store(0, std::memory_order_relaxed);
+  cache_.clear();  // per-entry hooks erase the mirrored safe populations
+  subsumption_.clear();  // then drop the unsafe side (and counters) too
 }
 
 }  // namespace ttdim::engine::oracle

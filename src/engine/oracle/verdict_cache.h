@@ -2,28 +2,29 @@
 // One cache can be private to a solve, shared across the probes of a
 // first-fit walk, or shared across a whole BatchRunner batch / serve
 // process — the further it is shared, the more re-proofs it absorbs.
+//
+// Built on the unified LRU core (engine/cache/lru_cache.h), count-
+// budgeted: verdicts are tiny (safe ones carry no witness), so entries —
+// not bytes — are the natural budget. The cache owns the cross-config
+// SubsumptionIndex (engine/oracle/subsumption_index.h): sharing the
+// verdict store shares the inclusion index with it, and the LRU's
+// eviction hook erases each evicted safe population from the index so
+// the two can never drift apart.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <list>
-#include <mutex>
 #include <optional>
-#include <unordered_map>
-#include <utility>
 
+#include "engine/cache/lru_cache.h"
 #include "engine/oracle/slot_config_key.h"
+#include "engine/oracle/subsumption_index.h"
 #include "verify/discrete.h"
 
 namespace ttdim::engine::oracle {
 
-/// Monotonic cache counters. Each field is read from its own atomic, so a
-/// snapshot taken while other threads hit the cache (SolveStats
-/// aggregation over a batch sharing one cache, bench reporting loops) is
-/// tear-free per counter without taking the cache lock; the fields of one
-/// snapshot may straddle in-flight operations (hits + misses can briefly
-/// disagree with a concurrently counted lookup total by the operations
-/// still inside the lock).
+/// Monotonic cache counters; see engine::cache::LruStats for the
+/// lock-free snapshot semantics (kept as a distinct struct so call sites
+/// read `capacity`, the count budget, under its historical name).
 struct CacheStats {
   long hits = 0;
   long misses = 0;
@@ -33,11 +34,11 @@ struct CacheStats {
   std::size_t capacity = 0;
 };
 
-/// Bounded LRU map SlotConfigKey -> SlotVerdict. All operations are
-/// serialized on an internal mutex: verdicts are milliseconds-to-seconds
-/// expensive, so lock contention is never the bottleneck. Concurrent
-/// misses of the same key may both verify and insert; the second insert
-/// is a no-op (verdicts for one key are interchangeable), counted once.
+/// Bounded LRU map SlotConfigKey -> SlotVerdict. Concurrent misses of
+/// the same key may both verify and insert; the second insert is a no-op
+/// (verdicts for one key are interchangeable), counted once —
+/// `insertions - evictions == size` at every quiet point (pinned by
+/// tests/lru_cache_test.cpp and tests/oracle_cache_test.cpp).
 class VerdictCache {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;
@@ -50,29 +51,37 @@ class VerdictCache {
       const SlotConfigKey& key);
 
   /// Inserts (no-op when the key is already present), evicting the least
-  /// recently used entry when full.
+  /// recently used entry when full. An evicted key is also erased from
+  /// the subsumption index.
   void insert(const SlotConfigKey& key, verify::SlotVerdict verdict);
 
+  /// Recency refresh without hit/miss accounting — the subsumption
+  /// tier's way of keeping a population that answers inclusion probes
+  /// off the eviction tail (those probes carry different keys, so the
+  /// entry would otherwise age out first while its stats stay honest).
+  void touch(const SlotConfigKey& key);
+
+  /// The cross-config inclusion index over this store's populations.
+  /// The oracle notes each safe population here immediately before
+  /// inserting its verdict (and unsafe populations directly — they have
+  /// no verdict entry to mirror).
+  [[nodiscard]] SubsumptionIndex& subsumption() noexcept {
+    return subsumption_;
+  }
+  [[nodiscard]] const SubsumptionIndex& subsumption() const noexcept {
+    return subsumption_;
+  }
+
   [[nodiscard]] CacheStats stats() const;
+  /// Drops every verdict AND the whole subsumption index (both sides).
   void clear();
 
  private:
-  using Entry = std::pair<SlotConfigKey, verify::SlotVerdict>;
-
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<SlotConfigKey, std::list<Entry>::iterator,
-                     SlotConfigKeyHash>
-      index_;
-  // Counters live outside the mutex so stats() is a lock-free atomic
-  // snapshot even while batch jobs hammer the cache (the map and LRU list
-  // stay mutex-guarded).
-  std::atomic<long> hits_{0};
-  std::atomic<long> misses_{0};
-  std::atomic<long> insertions_{0};
-  std::atomic<long> evictions_{0};
-  std::atomic<std::size_t> size_{0};
+  // Declared before cache_: the eviction hook references the index, so
+  // the index must outlive the cache member.
+  SubsumptionIndex subsumption_;
+  cache::LruCache<SlotConfigKey, verify::SlotVerdict, SlotConfigKeyHash>
+      cache_;
 };
 
 }  // namespace ttdim::engine::oracle

@@ -1,7 +1,9 @@
 #include "engine/scenario_generator.h"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "support/check.h"
 #include "verify/bounds.h"
@@ -28,17 +30,40 @@ sched::Scenario ScenarioGenerator::finalize(
   // two separately computed maxima. The property test in
   // tests/scenario_generator_test.cpp pins this window-fits-horizon
   // invariant for every kind and jitter.
-  int horizon = 1;
+  // 64-bit: with extreme timing parameters (r or dwell entries near
+  // INT_MAX) `t + window + 1` overflows int — the horizon is computed
+  // wide and rejected loudly when the scenario is unrepresentable,
+  // instead of wrapping into undefined behaviour.
+  long long horizon = 1;
   for (std::size_t i = 0; i < disturbances.size(); ++i) {
     const verify::AppTiming& app = apps_[i];
-    const int window = app.t_star_w + verify::max_dwell(app);
+    const long long window =
+        static_cast<long long>(app.t_star_w) + verify::max_dwell(app);
     for (int t : disturbances[i]) horizon = std::max(horizon, t + window + 1);
   }
+  if (horizon > std::numeric_limits<int>::max())
+    throw std::invalid_argument(
+        "ScenarioGenerator: scenario horizon overflows int (arrival + "
+        "T*w + max dwell exceeds the tick range)");
   sched::Scenario scenario;
   scenario.disturbances = std::move(disturbances);
-  scenario.horizon = horizon;
+  scenario.horizon = static_cast<int>(horizon);
   return scenario;
 }
+
+namespace {
+
+/// Narrow an arrival computed in 64-bit back to the int tick range; the
+/// wide arithmetic upstream keeps overflow out of UB territory, this
+/// keeps it out of the emitted scenario.
+int checked_tick(long long t, const char* what) {
+  if (t > std::numeric_limits<int>::max())
+    throw std::invalid_argument(std::string("ScenarioGenerator::") + what +
+                                ": arrival tick overflows int");
+  return static_cast<int>(t);
+}
+
+}  // namespace
 
 sched::Scenario ScenarioGenerator::burst(int instances_per_app) {
   TTDIM_EXPECTS(instances_per_app >= 1);
@@ -48,7 +73,8 @@ sched::Scenario ScenarioGenerator::burst(int instances_per_app) {
   std::vector<std::vector<int>> d(apps_.size());
   for (std::size_t i = 0; i < apps_.size(); ++i)
     for (int k = 0; k < instances_per_app; ++k)
-      d[i].push_back(k * max_r);
+      d[i].push_back(
+          checked_tick(static_cast<long long>(k) * max_r, "burst"));
   return finalize(std::move(d));
 }
 
@@ -58,9 +84,11 @@ sched::Scenario ScenarioGenerator::staggered(int offset,
   TTDIM_EXPECTS(instances_per_app >= 1);
   std::vector<std::vector<int>> d(apps_.size());
   for (std::size_t i = 0; i < apps_.size(); ++i) {
-    const int start = static_cast<int>(i) * offset;
+    const long long start = static_cast<long long>(i) * offset;
     for (int k = 0; k < instances_per_app; ++k)
-      d[i].push_back(start + k * apps_[i].min_interarrival);
+      d[i].push_back(checked_tick(
+          start + static_cast<long long>(k) * apps_[i].min_interarrival,
+          "staggered"));
   }
   return finalize(std::move(d));
 }
@@ -68,12 +96,22 @@ sched::Scenario ScenarioGenerator::staggered(int offset,
 sched::Scenario ScenarioGenerator::worst_case_coincidence(int victim) {
   TTDIM_EXPECTS(victim >= 0 && victim < app_count());
   const verify::AppTiming& v = apps_[static_cast<std::size_t>(victim)];
-  const int window = v.t_star_w + verify::max_dwell(v);
+  const long long window =
+      static_cast<long long>(v.t_star_w) + verify::max_dwell(v);
   // The pending instance of app j arrives at d + 1 - r_j, which must be a
   // valid tick, so the victim's disturbance is pushed past every r_j.
   int d0 = 0;
   for (const verify::AppTiming& app : apps_)
     d0 = std::max(d0, app.min_interarrival - 1);
+  // Fail fast: every generated tick lies in [d0 + 1 - r, d0 + window],
+  // so an out-of-range upper end is rejected before the loops below
+  // materialize up to window / min(r) arrivals — with a huge window and
+  // a small r that would be billions of ticks of memory, exhausted long
+  // before the per-tick check could throw.
+  if (static_cast<long long>(d0) + window > std::numeric_limits<int>::max())
+    throw std::invalid_argument(
+        "ScenarioGenerator::worst_case_coincidence: critical window "
+        "overflows the tick range");
   std::vector<std::vector<int>> d(apps_.size());
   d[static_cast<std::size_t>(victim)].push_back(d0);
   for (std::size_t j = 0; j < apps_.size(); ++j) {
@@ -81,8 +119,12 @@ sched::Scenario ScenarioGenerator::worst_case_coincidence(int victim) {
     const int r = apps_[j].min_interarrival;
     // One instance pending just before the victim's arrival, then one per
     // started period inside (d0, d0 + window]: together these realise
-    // 1 + ceil(window / r) = verify::max_coinciding_instances.
-    for (int t = d0 + 1 - r; t <= d0 + window; t += r) d[j].push_back(t);
+    // 1 + ceil(window / r) = verify::max_coinciding_instances. The loop
+    // variable is wide: near INT_MAX the `t += r` step would wrap before
+    // the bound check.
+    for (long long t = d0 + 1 - static_cast<long long>(r); t <= d0 + window;
+         t += r)
+      d[j].push_back(checked_tick(t, "worst_case_coincidence"));
   }
   sched::Scenario scenario = finalize(std::move(d));
   return scenario;
@@ -94,11 +136,26 @@ sched::Scenario ScenarioGenerator::random(int instances_per_app, int jitter) {
   std::vector<std::vector<int>> d(apps_.size());
   for (std::size_t i = 0; i < apps_.size(); ++i) {
     const int r = apps_[i].min_interarrival;
+    // The documented gap interval is [r, r + jitter]; for large r the
+    // upper bound overflows int, so it is computed wide and clamped to
+    // the representable range — identical behaviour (and identical PRNG
+    // consumption, so seeded replays are unaffected) whenever r + jitter
+    // fits in int, a sound [r, INT_MAX] gap otherwise.
+    const int hi = static_cast<int>(
+        std::min<long long>(static_cast<long long>(r) + jitter,
+                            std::numeric_limits<int>::max()));
     std::uniform_int_distribution<int> start_dist(0, std::max(0, r - 1));
-    std::uniform_int_distribution<int> gap_dist(r, r + jitter);
-    int t = start_dist(rng_);
+    std::uniform_int_distribution<int> gap_dist(r, hi);
+    // Arrivals accumulate in 64-bit: instances_per_app gaps of up to
+    // INT_MAX each overflow int long before the horizon check could
+    // reject them. An arrival past the tick range is rejected loudly.
+    long long t = start_dist(rng_);
     for (int k = 0; k < instances_per_app; ++k) {
-      d[i].push_back(t);
+      if (t > std::numeric_limits<int>::max())
+        throw std::invalid_argument(
+            "ScenarioGenerator::random: arrival tick overflows int "
+            "(reduce instances_per_app, jitter or the inter-arrival rate)");
+      d[i].push_back(static_cast<int>(t));
       t += gap_dist(rng_);
     }
   }

@@ -50,13 +50,22 @@ class ScenarioGenerator {
   [[nodiscard]] sched::Scenario worst_case_coincidence(int victim);
 
   /// Random arrivals: per application, a random start in [0, r) then
-  /// `instances_per_app` arrivals with gaps uniform in [r, r + jitter].
+  /// `instances_per_app` arrivals with gaps uniform in [r, r + jitter]
+  /// (upper bound clamped to INT_MAX when r + jitter would overflow).
   /// Consumes PRNG state: consecutive calls differ, reseeding replays.
+  /// All generators do their arrival/horizon arithmetic in 64-bit and
+  /// throw std::invalid_argument when a tick or the horizon would
+  /// overflow int, instead of wrapping into undefined behaviour —
+  /// exercised by the extreme-value property test in
+  /// tests/scenario_generator_test.cpp.
   [[nodiscard]] sched::Scenario random(int instances_per_app, int jitter);
 
   /// Dispatch by kind (kRandom uses instances_per_app and a jitter of the
   /// largest r; kStaggered uses the smallest r as offset; coincidence
-  /// picks a PRNG-chosen victim). Convenience for fuzz-style loops.
+  /// picks a PRNG-chosen victim). Convenience for fuzz-style loops. The
+  /// documented jitter/offset choices are pinned against the direct
+  /// calls by tests (make(kRandom) == random(n, largest r) under the
+  /// same PRNG state, likewise kStaggered/smallest r).
   [[nodiscard]] sched::Scenario make(ScenarioKind kind,
                                      int instances_per_app = 1);
 

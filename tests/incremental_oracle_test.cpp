@@ -1,5 +1,8 @@
-// The incremental admission oracle: three-tier behaviour (exact hit →
-// prefix extension → fresh proof), snapshot-cache accounting, and the
+// The incremental admission oracle: exact-hit / prefix-extension /
+// fresh-proof behaviour (the subsumption tier between the first two has
+// its own suite, tests/subsumption_test.cpp — first-fit chains grow
+// supersets of safe populations, which inclusion cannot answer, so the
+// counters here are unchanged by it), snapshot-cache accounting, and the
 // property everything rests on — incremental and from-scratch admission
 // being observably identical, from single probes up to whole solves
 // (verdicts, dwell tables, solve fingerprints; serial and parallel).
@@ -60,7 +63,7 @@ IncrementalAdmissionOracle make_oracle() {
 
 // ------------------------------------------------------------ the tiers --
 
-TEST(IncrementalOracle, ProbeChainUsesAllThreeTiers) {
+TEST(IncrementalOracle, ProbeChainUsesExactPrefixAndFreshTiers) {
   const IncrementalAdmissionOracle oracle = make_oracle();
   const std::vector<AppTiming> chain = {uniform_app("A", 3, 2, 4, 10),
                                         uniform_app("B", 5, 1, 2, 9),
@@ -74,8 +77,8 @@ TEST(IncrementalOracle, ProbeChainUsesAllThreeTiers) {
   EXPECT_EQ(oracle.calls(), 3);
   EXPECT_EQ(oracle.exact_hits(), 0);
   EXPECT_EQ(oracle.misses(), 3);
-  // {A} proves fresh (tier 3); {A,B} and {A,B,C} extend the previous
-  // probe's snapshot (tier 2).
+  // {A} proves fresh (tier 4); {A,B} and {A,B,C} extend the previous
+  // probe's snapshot (tier 3).
   EXPECT_EQ(oracle.prefix_hits(), 2);
   EXPECT_GT(oracle.states_reused(), 0);
   EXPECT_GT(oracle.states_extended(), 0);

@@ -1,0 +1,189 @@
+// The unified LRU core (engine/cache/lru_cache.h): budget semantics in
+// both modes (entry count and byte cost), recency behaviour, the
+// eviction hook contract that secondary indexes rely on, and — the
+// accounting regression the cache audit asked for — counters that match
+// the real map under concurrent same-key misses, TSan-clean:
+// insertions - evictions == entries at every quiet point, duplicates
+// counted zero times.
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/cache/lru_cache.h"
+#include "gtest/gtest.h"
+
+namespace ttdim::engine::cache {
+namespace {
+
+using IntCache = LruCache<int, std::string>;
+
+std::size_t value_size(const int& key, const std::string& value) {
+  (void)key;
+  return value.size();
+}
+
+TEST(LruCache, CountBudgetEvictsLeastRecentlyUsed) {
+  IntCache cache(2);
+  EXPECT_TRUE(cache.insert(1, "one"));
+  EXPECT_TRUE(cache.insert(2, "two"));
+  ASSERT_NE(cache.lookup(1), nullptr);  // 1 now most recent
+  EXPECT_TRUE(cache.insert(3, "three"));  // evicts 2
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  ASSERT_NE(cache.lookup(1), nullptr);
+  ASSERT_NE(cache.lookup(3), nullptr);
+  const LruStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.cost, 2u);  // each entry charged 1 in count mode
+}
+
+TEST(LruCache, ByteBudgetChargesTheCostHook) {
+  LruCache<int, std::string> cache(10, &value_size);
+  EXPECT_TRUE(cache.insert(1, "aaaa"));   // 4
+  EXPECT_TRUE(cache.insert(2, "bbbb"));   // 8
+  EXPECT_TRUE(cache.insert(3, "cc"));     // 10, fits
+  EXPECT_EQ(cache.stats().cost, 10u);
+  EXPECT_TRUE(cache.insert(4, "ddd"));    // 13 -> evicts oldest (1)
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  ASSERT_NE(cache.lookup(2), nullptr);
+  ASSERT_NE(cache.lookup(3), nullptr);
+  ASSERT_NE(cache.lookup(4), nullptr);
+  const LruStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.cost, 9u);
+  EXPECT_LE(stats.cost, stats.budget);
+}
+
+TEST(LruCache, OversizedEntryIsDroppedNotInserted) {
+  LruCache<int, std::string> cache(4, &value_size);
+  EXPECT_FALSE(cache.insert(1, "way too large"));
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(cache.stats().insertions, 0);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LruCache, DuplicateInsertIsANoOpCountedZeroTimes) {
+  IntCache cache(4);
+  EXPECT_TRUE(cache.insert(1, "first"));
+  EXPECT_FALSE(cache.insert(1, "second"));
+  EXPECT_EQ(*cache.lookup(1), "first");  // original value survives
+  const LruStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.entries,
+            static_cast<std::size_t>(stats.insertions - stats.evictions));
+}
+
+TEST(LruCache, TouchRefreshesRecencyWithoutCountingHitsOrMisses) {
+  IntCache cache(2);
+  cache.insert(1, "one");
+  cache.insert(2, "two");
+  cache.touch(1);      // 1 most recent now
+  cache.touch(99);     // absent: no-op
+  const LruStats before = cache.stats();
+  EXPECT_EQ(before.hits, 0);
+  EXPECT_EQ(before.misses, 0);
+  cache.insert(3, "three");  // evicts 2, the least recently touched
+  EXPECT_EQ(cache.lookup(2), nullptr);
+  ASSERT_NE(cache.lookup(1), nullptr);
+  ASSERT_NE(cache.lookup(3), nullptr);
+}
+
+TEST(LruCache, EvictionNeverInvalidatesAHandedOutValue) {
+  IntCache cache(1);
+  cache.insert(1, "held");
+  const std::shared_ptr<const std::string> held = cache.lookup(1);
+  ASSERT_NE(held, nullptr);
+  cache.insert(2, "usurper");  // evicts 1
+  EXPECT_EQ(cache.lookup(1), nullptr);
+  EXPECT_EQ(*held, "held");
+  cache.clear();
+  EXPECT_EQ(*held, "held");
+}
+
+TEST(LruCache, EvictHookSeesEveryDepartureExactlyOnce) {
+  std::vector<std::pair<int, std::string>> departed;
+  LruCache<int, std::string> cache(
+      2, nullptr, [&departed](const int& key, const std::string& value) {
+        departed.emplace_back(key, value);
+      });
+  cache.insert(1, "one");
+  cache.insert(2, "two");
+  cache.insert(3, "three");  // evicts 1
+  ASSERT_EQ(departed.size(), 1u);
+  EXPECT_EQ(departed[0], (std::pair<int, std::string>{1, "one"}));
+  cache.clear();  // fires for the two residents, does not count evictions
+  ASSERT_EQ(departed.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 0);  // clear() reset the counters
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LruCache, ClearResetsAllCounters) {
+  IntCache cache(2);
+  cache.insert(1, "one");
+  (void)cache.lookup(1);
+  (void)cache.lookup(9);
+  cache.clear();
+  const LruStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.insertions, 0);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.cost, 0u);
+}
+
+// The accounting regression test of the cache audit: concurrent misses
+// of the same key all race to insert; the contract is that the key is
+// counted ONCE and the counters can never drift from the real map —
+// insertions - evictions == entries once the threads join. Run under
+// TSan in CI (the lru_cache suite is in the TSan job filter).
+TEST(LruCache, ConcurrentSameKeyMissesKeepCountersConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;
+  constexpr int kRounds = 200;
+  LruCache<int, std::string> cache(16);  // small: force steady eviction
+  std::atomic<int> start{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&cache, &start] {
+      start.fetch_add(1);
+      while (start.load() < kThreads) {
+      }  // spin: maximize same-key overlap
+      for (int round = 0; round < kRounds; ++round) {
+        for (int key = 0; key < kKeys; ++key) {
+          if (cache.lookup(key) == nullptr) {
+            // Every thread computes the same interchangeable value and
+            // races to insert it — at most one may be counted.
+            cache.insert(key, "v" + std::to_string(key));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const LruStats stats = cache.stats();
+  EXPECT_EQ(stats.entries,
+            static_cast<std::size_t>(stats.insertions - stats.evictions));
+  EXPECT_LE(stats.entries, 16u);
+  EXPECT_EQ(stats.cost, stats.entries);  // count mode: cost == entries
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<long>(kThreads) * kRounds * kKeys);
+  // Every resident key still resolves to its interchangeable value.
+  int resident = 0;
+  for (int key = 0; key < kKeys; ++key) {
+    const std::shared_ptr<const std::string> value = cache.lookup(key);
+    if (value == nullptr) continue;
+    EXPECT_EQ(*value, "v" + std::to_string(key));
+    ++resident;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(resident), stats.entries);
+}
+
+}  // namespace
+}  // namespace ttdim::engine::cache

@@ -2,6 +2,8 @@
 // well-formedness (the slot simulator's own scenario validation must
 // accept every generated scenario), and the adversarial guarantee that
 // the coincidence mode attains verify::max_coinciding_instances.
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "engine/scenario_generator.h"
@@ -193,6 +195,97 @@ TEST(ScenarioGenerator, RejectsBadArguments) {
                std::logic_error);
   EXPECT_THROW(static_cast<void>(gen.random(1, -1)), std::logic_error);
   EXPECT_THROW(ScenarioGenerator({}, 0), std::logic_error);
+}
+
+TEST(ScenarioGenerator, MakeUsesDocumentedJitterAndOffsetChoices) {
+  // The header documents make(kRandom) as random(n, largest r) and
+  // make(kStaggered) as staggered(smallest r, n); this pins doc and
+  // implementation together (PR-5 audit: they agree — mixed_apps' rates
+  // are 9/14/8, so largest = 14, smallest = 8). Both generators start
+  // from the same seed; equality requires identical PRNG consumption too.
+  ScenarioGenerator via_make(mixed_apps(), 7);
+  ScenarioGenerator direct(mixed_apps(), 7);
+  const sched::Scenario a = via_make.make(ScenarioKind::kRandom, 3);
+  const sched::Scenario b = direct.random(3, 14);
+  EXPECT_EQ(a.disturbances, b.disturbances);
+  EXPECT_EQ(a.horizon, b.horizon);
+  const sched::Scenario c = via_make.make(ScenarioKind::kStaggered, 2);
+  const sched::Scenario d = direct.staggered(8, 2);
+  EXPECT_EQ(c.disturbances, d.disturbances);
+  EXPECT_EQ(c.horizon, d.horizon);
+}
+
+TEST(ScenarioGenerator, ExtremeTimingValuesNeverWrapIntoUndefinedBehaviour) {
+  // PR-5 audit: random()'s gap interval [r, r + jitter] overflowed int
+  // for large inter-arrival rates (UB inside uniform_int_distribution),
+  // and accumulated arrivals / the horizon could wrap. The property now
+  // is: for extreme AppTiming values every generator either returns a
+  // well-formed scenario or throws std::invalid_argument — it never
+  // wraps (the ASan/UBSan CI job would flag the old arithmetic on this
+  // very test).
+  const int huge = std::numeric_limits<int>::max() - 8;
+  const std::vector<AppTiming> apps = {uniform_app("H", 3, 2, 4, huge),
+                                       uniform_app("S", 3, 2, 4, 9)};
+  for (const int jitter : {0, 1, huge, std::numeric_limits<int>::max()}) {
+    for (const int instances : {1, 2, 3}) {
+      ScenarioGenerator gen(apps, 42);
+      try {
+        const sched::Scenario s = gen.random(instances, jitter);
+        expect_well_formed(s, apps);
+      } catch (const std::invalid_argument&) {
+        // Unrepresentable tick or horizon rejected loudly — acceptable,
+        // silent wrap-around is not.
+      }
+    }
+  }
+  for (const ScenarioKind kind : kAllKinds) {
+    for (const int instances : {1, 2}) {
+      ScenarioGenerator gen(apps, 42);
+      try {
+        expect_well_formed(gen.make(kind, instances), apps);
+      } catch (const std::invalid_argument&) {
+      }
+    }
+  }
+  // Huge explicit offsets walk the same guarded path.
+  ScenarioGenerator gen(apps, 42);
+  try {
+    expect_well_formed(gen.staggered(huge, 2), apps);
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+TEST(ScenarioGenerator, CoincidenceRejectsOverflowingWindowBeforeAllocating) {
+  // A victim whose critical window (T*w + max dwell) overflows the tick
+  // range next to a fast disturber: the per-started-period loop would
+  // materialize ~window / r arrivals (billions) before any per-tick
+  // check could fire, so the window bound must be rejected up front.
+  // Victim: window = T*w + max T+dw = INT_MAX - 8; r satisfies the
+  // sporadic constraint w + T+dw < r without overflowing validate().
+  const int t_plus = std::numeric_limits<int>::max() - 10;
+  const std::vector<AppTiming> apps = {
+      uniform_app("V", 2, 1, t_plus, std::numeric_limits<int>::max() - 7),
+      uniform_app("O", 1, 1, 2, 5)};
+  ScenarioGenerator gen(apps, 42);
+  EXPECT_THROW(static_cast<void>(gen.worst_case_coincidence(0)),
+               std::invalid_argument);
+}
+
+TEST(ScenarioGenerator, ModerateJitterClampStaysExact) {
+  // Just below the overflow regime the clamp must not engage: gaps stay
+  // within [r, r + jitter] and scenarios are well-formed.
+  const std::vector<AppTiming> apps = mixed_apps();
+  ScenarioGenerator gen(apps, 11);
+  const int jitter = std::numeric_limits<int>::max() - 20;
+  const sched::Scenario s = gen.random(2, jitter);
+  expect_well_formed(s, apps);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    ASSERT_EQ(s.disturbances[i].size(), 2u);
+    const long long gap = static_cast<long long>(s.disturbances[i][1]) -
+                          s.disturbances[i][0];
+    EXPECT_GE(gap, apps[i].min_interarrival);
+    EXPECT_LE(gap, static_cast<long long>(apps[i].min_interarrival) + jitter);
+  }
 }
 
 }  // namespace
