@@ -13,7 +13,9 @@ function(ttdim_add_test source)
   # binary at build time; add_test keeps configure cheap and gives exactly
   # one CTest entry per suite file, which is what the verify gate counts.
   add_test(NAME ${name} COMMAND ${name})
-  set_tests_properties(${name} PROPERTIES TIMEOUT 600)
+  # Every gtest suite belongs to the fast always-on gate: `ctest -L tier1`
+  # is what PR CI runs; only the deeper fuzz campaigns carry `long`.
+  set_tests_properties(${name} PROPERTIES TIMEOUT 600 LABELS "tier1")
 endfunction()
 
 function(ttdim_add_bench source)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Reproduce ttdim soundness-fuzzer findings locally.
+
+Three modes, all thin wrappers over the deterministic ttdim_fuzz binary:
+
+  replay    re-run one artifact (or a directory of them) — a red replay is
+            the finding resurfacing on your tree:
+                scripts/repro_fuzz.py replay fuzz-artifacts/cex_ab12.ttfz
+                scripts/repro_fuzz.py replay tests/corpus
+
+  campaign  re-run a whole campaign from its seed (reports are a pure
+            function of seed + iterations, so the nightly report's header
+            is everything you need):
+                scripts/repro_fuzz.py campaign --seed 123456 \\
+                    --iterations 2000 --max-apps 7 --solve-every 100
+
+  mint      regenerate the checked-in seed corpus after an intentional
+            format or semantics change:
+                scripts/repro_fuzz.py mint
+
+The binary is rebuilt first unless --no-build is given.
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def build(build_dir: pathlib.Path) -> None:
+    if not (build_dir / "CMakeCache.txt").exists():
+        subprocess.run(["cmake", "-B", str(build_dir), "-S", str(REPO)],
+                       check=True)
+    subprocess.run(
+        ["cmake", "--build", str(build_dir), "-j", "--target", "ttdim_fuzz"],
+        check=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--build-dir", default=str(REPO / "build"))
+    parser.add_argument("--no-build", action="store_true",
+                        help="use the existing ttdim_fuzz binary as-is")
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    replay = sub.add_parser("replay", help="replay artifact file or directory")
+    replay.add_argument("target", help="a .ttfz file or a directory of them")
+
+    campaign = sub.add_parser("campaign", help="re-run a campaign from a seed")
+    campaign.add_argument("--seed", required=True)
+    campaign.add_argument("--iterations", default="2000")
+    campaign.add_argument("--max-apps", default="7")
+    campaign.add_argument("--solve-every", default="100")
+    campaign.add_argument("--artifacts-out", default="fuzz-artifacts")
+
+    mint = sub.add_parser("mint", help="regenerate the seed corpus")
+    mint.add_argument("--out", default=str(REPO / "tests" / "corpus"))
+
+    args = parser.parse_args()
+    build_dir = pathlib.Path(args.build_dir)
+    if not args.no_build:
+        build(build_dir)
+    binary = build_dir / "ttdim_fuzz"
+    if not binary.exists():
+        print(f"error: {binary} not found (build first or pass --build-dir)",
+              file=sys.stderr)
+        return 2
+
+    if args.mode == "replay":
+        target = pathlib.Path(args.target)
+        flag = "--replay-dir" if target.is_dir() else "--replay"
+        cmd = [str(binary), flag, str(target)]
+    elif args.mode == "campaign":
+        cmd = [str(binary), "--seed", args.seed,
+               "--iterations", args.iterations,
+               "--max-apps", args.max_apps,
+               "--solve-every", args.solve_every,
+               "--artifacts-out", args.artifacts_out,
+               "--require-full-coverage"]
+    else:  # mint
+        cmd = [str(binary), "--mint-corpus", args.out]
+
+    print("+ " + " ".join(cmd), file=sys.stderr)
+    return subprocess.run(cmd, check=False).returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

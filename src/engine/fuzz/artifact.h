@@ -1,0 +1,85 @@
+// Replayable soundness artifacts: the corpus format of the fuzz harness
+// (engine/fuzz/soundness_fuzzer.h). An artifact freezes one admission
+// claim — a slot population, the verifier options the claim was made
+// under, the claimed verdict — together with a concrete disturbance
+// scenario (optionally carrying forced grants when derived from a
+// verifier witness) and the expected simulated outcome. Replaying an
+// artifact re-derives the fresh verdict and re-simulates the scenario, so
+// every counterexample the fuzzer ever shrinks becomes a permanent
+// regression in tests/corpus/ (fuzz_corpus_test), and a disagreement that
+// resurfaces replays red.
+//
+// The serialization is a line-based deterministic text format (no floats,
+// no locale dependence): two artifacts are the same case exactly when
+// their bytes match, and the content-hash filename makes dedup automatic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/slot_scheduler.h"
+#include "verify/app_timing.h"
+#include "verify/discrete.h"
+
+namespace ttdim::engine::fuzz {
+
+struct Artifact {
+  static constexpr int kFormatVersion = 1;
+
+  /// Free-text one-liner shown by repro tooling (no newlines).
+  std::string description;
+  /// Provenance: the fuzzer run's seed and the iteration that found the
+  /// case (-1 when hand-written or minted).
+  std::uint64_t seed = 0;
+  long iteration = -1;
+  /// Scenario provenance: a ScenarioGenerator kind name, "witness" (the
+  /// scenario replays a verifier counterexample, forced grants included)
+  /// or "hyperperiod" (max-rate periodic cross-check).
+  std::string scenario_kind;
+
+  // The verdict-affecting verifier options of the claim (the same fields
+  // SlotConfigKey canonicalizes).
+  verify::SlotPolicy policy = verify::SlotPolicy::kPaper;
+  int max_disturbances_per_app = -1;
+  long max_states = 2'000'000;
+
+  /// The admission claim under test: what the oracle layer answered when
+  /// the artifact was recorded. Replay asserts the fresh verifier still
+  /// agrees — a checked-in artifact whose claim has gone stale is exactly
+  /// a soundness regression.
+  bool claimed_safe = false;
+
+  std::vector<verify::AppTiming> apps;
+  sched::Scenario scenario;
+
+  /// Expected simulated outcome: the violating application and tick, or
+  /// -1/-1 when the scenario must complete without a deadline miss. A
+  /// violator of -2 encodes "the runtime rejects the stream mid-run" —
+  /// the simulator's re-disturbance guard fires because an earlier miss
+  /// left the violator stuck, which is violation evidence too.
+  int expect_violator = -1;
+  int expect_violation_tick = -1;
+
+  /// Canonical text form; parse(serialize()) round-trips byte-exactly
+  /// (pinned by tests/fuzz_harness_test.cpp).
+  [[nodiscard]] std::string serialize() const;
+  /// Strict parser: throws std::invalid_argument on any malformed input
+  /// (unknown header, arity mismatch, apps failing AppTiming::validate).
+  [[nodiscard]] static Artifact parse(const std::string& text);
+};
+
+/// Load one artifact file. Throws std::invalid_argument (parse errors)
+/// or std::runtime_error (unreadable file).
+[[nodiscard]] Artifact load_artifact(const std::string& path);
+
+/// Serialize into `dir` under the content-hash name
+/// "cex_<16 hex digits>.ttfz" (FNV-1a of the canonical bytes — identical
+/// cases dedup to one file). Creates `dir` if missing; returns the path.
+std::string save_artifact(const Artifact& artifact, const std::string& dir);
+
+/// Sorted paths of every *.ttfz in `dir` (empty when the directory does
+/// not exist).
+[[nodiscard]] std::vector<std::string> list_artifacts(const std::string& dir);
+
+}  // namespace ttdim::engine::fuzz

@@ -1,0 +1,186 @@
+// ttdim_fuzz: driver for the deterministic soundness fuzzer
+// (engine/fuzz/soundness_fuzzer.h).
+//
+//   ttdim_fuzz [--seed N] [--iterations N] [--max-seconds S] [--max-apps N]
+//              [--solve-every N] [--artifacts-out DIR] [--report-out FILE]
+//              [--require-full-coverage] [--inject-unsound]
+//   ttdim_fuzz --replay FILE | --replay-dir DIR
+//   ttdim_fuzz --mint-corpus DIR
+//   ttdim_fuzz --self-check
+//
+// Exit codes: 0 clean, 1 disagreements / red replays / missing coverage,
+// 2 usage or harness error. The report on stdout is byte-deterministic
+// given (seed, iterations); wall-clock budgets only truncate the
+// trajectory (--max-seconds), they never reorder it.
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/fuzz/artifact.h"
+#include "engine/fuzz/soundness_fuzzer.h"
+
+namespace fuzz = ttdim::engine::fuzz;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options]\n"
+      << "  --seed N                 campaign seed (default 1)\n"
+      << "  --iterations N           system families to generate "
+         "(default 50)\n"
+      << "  --max-seconds S          wall budget, checked between "
+         "iterations\n"
+      << "  --max-apps N             population size cap, 2..8 (default 5)\n"
+      << "  --solve-every N          full core::solve cross-check every "
+         "N iterations\n"
+      << "  --artifacts-out DIR      serialize shrunk counterexamples\n"
+      << "  --report-out FILE        also write the report to FILE\n"
+      << "  --require-full-coverage  fail if any oracle tier or scenario "
+         "kind stayed unexercised\n"
+      << "  --inject-unsound         test hook: flip unsafe admissions to "
+         "safe\n"
+      << "  --replay FILE            replay one artifact\n"
+      << "  --replay-dir DIR         replay every *.ttfz in DIR\n"
+      << "  --mint-corpus DIR        regenerate the seed corpus into DIR\n"
+      << "  --self-check             verify the harness catches an "
+         "injected unsound verdict\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::FuzzConfig config;
+  bool require_full_coverage = false;
+  bool self_check = false;
+  std::string replay_file;
+  std::string replay_dir;
+  std::string mint_dir;
+  std::string report_out;
+
+  const auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << argv[0] << ": " << argv[i] << " needs a value\n";
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--seed")
+        config.seed = std::stoull(value(i));
+      else if (arg == "--iterations")
+        config.iterations = std::stol(value(i));
+      else if (arg == "--max-seconds")
+        config.max_seconds = std::stod(value(i));
+      else if (arg == "--max-apps")
+        config.max_apps = std::stoi(value(i));
+      else if (arg == "--solve-every")
+        config.solve_every = std::stol(value(i));
+      else if (arg == "--artifacts-out")
+        config.artifacts_dir = value(i);
+      else if (arg == "--report-out")
+        report_out = value(i);
+      else if (arg == "--require-full-coverage")
+        require_full_coverage = true;
+      else if (arg == "--inject-unsound")
+        config.inject_unsound = true;
+      else if (arg == "--replay")
+        replay_file = value(i);
+      else if (arg == "--replay-dir")
+        replay_dir = value(i);
+      else if (arg == "--mint-corpus")
+        mint_dir = value(i);
+      else if (arg == "--self-check")
+        self_check = true;
+      else
+        return usage(argv[0]);
+    } catch (const std::exception&) {
+      std::cerr << argv[0] << ": bad value for " << arg << "\n";
+      return 2;
+    }
+  }
+
+  try {
+    if (!mint_dir.empty()) {
+      for (const std::string& path : fuzz::mint_seed_corpus(mint_dir))
+        std::cout << "minted " << path << "\n";
+      return 0;
+    }
+
+    if (!replay_file.empty() || !replay_dir.empty()) {
+      std::vector<std::string> paths;
+      if (!replay_file.empty()) paths.push_back(replay_file);
+      if (!replay_dir.empty())
+        for (const std::string& path : fuzz::list_artifacts(replay_dir))
+          paths.push_back(path);
+      if (paths.empty()) {
+        std::cerr << argv[0] << ": no artifacts to replay\n";
+        return 2;
+      }
+      int red = 0;
+      for (const std::string& path : paths) {
+        const fuzz::ReplayResult verdict =
+            fuzz::replay(fuzz::load_artifact(path));
+        std::cout << (verdict.ok ? "green " : "RED   ") << path << ": "
+                  << verdict.message << "\n";
+        if (!verdict.ok) ++red;
+      }
+      return red > 0 ? 1 : 0;
+    }
+
+    if (self_check) {
+      config.inject_unsound = true;
+      if (config.artifacts_dir.empty())
+        config.artifacts_dir = "fuzz-selfcheck-artifacts";
+      const fuzz::FuzzReport report = fuzz::run_soundness_fuzz(config);
+      std::cout << report.to_string();
+      bool red_artifact = false;
+      for (const std::string& path : report.artifact_paths)
+        if (!fuzz::replay(fuzz::load_artifact(path)).ok) {
+          red_artifact = true;
+          break;
+        }
+      if (report.disagreements > 0 && report.artifacts_written > 0 &&
+          red_artifact) {
+        std::cout << "self-check: injected unsound verdict was caught, "
+                     "shrunk and replays red\n";
+        return 0;
+      }
+      std::cerr << "self-check FAILED: injected unsound verdict was not "
+                   "detected\n";
+      return 1;
+    }
+
+    const fuzz::FuzzReport report = fuzz::run_soundness_fuzz(config);
+    const std::string text = report.to_string();
+    std::cout << text;
+    if (!report_out.empty()) {
+      std::ofstream out(report_out, std::ios::trunc);
+      if (!out || !(out << text))
+        throw std::runtime_error("cannot write " + report_out);
+    }
+    int rc = 0;
+    if (report.disagreements > 0) {
+      std::cerr << "FAIL: " << report.disagreements << " disagreement(s)\n";
+      rc = 1;
+    }
+    if (require_full_coverage) {
+      const std::vector<std::string> missing = report.missing_coverage();
+      if (!missing.empty()) {
+        std::cerr << "FAIL: coverage gaps:";
+        for (const std::string& entry : missing) std::cerr << " " << entry;
+        std::cerr << "\n";
+        rc = 1;
+      }
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 2;
+  }
+}

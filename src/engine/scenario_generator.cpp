@@ -10,6 +10,26 @@
 
 namespace ttdim::engine {
 
+const char* scenario_kind_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kBurst:
+      return "burst";
+    case ScenarioKind::kStaggered:
+      return "staggered";
+    case ScenarioKind::kWorstCaseCoincidence:
+      return "coincidence";
+    case ScenarioKind::kRandom:
+      return "random";
+    case ScenarioKind::kCorrelated:
+      return "correlated";
+    case ScenarioKind::kSystemAdversarial:
+      return "system_adversarial";
+    case ScenarioKind::kChurn:
+      return "churn";
+  }
+  throw std::logic_error("scenario_kind_name: unhandled kind");
+}
+
 ScenarioGenerator::ScenarioGenerator(std::vector<verify::AppTiming> apps,
                                      std::uint64_t seed)
     : apps_(std::move(apps)), rng_(seed) {
@@ -162,6 +182,140 @@ sched::Scenario ScenarioGenerator::random(int instances_per_app, int jitter) {
   return finalize(std::move(d));
 }
 
+sched::Scenario ScenarioGenerator::correlated(int bursts, int spread) {
+  TTDIM_EXPECTS(bursts >= 1);
+  TTDIM_EXPECTS(spread >= 0);
+  int min_r = apps_.front().min_interarrival;
+  int max_r = 0;
+  for (const verify::AppTiming& app : apps_) {
+    min_r = std::min(min_r, app.min_interarrival);
+    max_r = std::max(max_r, app.min_interarrival);
+  }
+  // Epoch gaps use the documented [1, 2 * max r] interval; like random()'s
+  // jitter bound the upper end is computed wide and clamped so extreme
+  // rates degrade to [1, INT_MAX] instead of overflowing the distribution.
+  const int gap_hi = static_cast<int>(
+      std::min<long long>(2ll * max_r, std::numeric_limits<int>::max()));
+  std::uniform_int_distribution<int> start_dist(0, std::max(0, min_r - 1));
+  std::uniform_int_distribution<int> gap_dist(1, gap_hi);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> offset_dist(0, spread);
+  std::vector<std::vector<int>> d(apps_.size());
+  long long epoch = start_dist(rng_);
+  for (int e = 0; e < bursts; ++e) {
+    const std::size_t anchor =
+        static_cast<std::size_t>(e) % apps_.size();
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      const bool joins = coin(rng_) == 1 || i == anchor;
+      if (!joins) continue;
+      const long long t = epoch + offset_dist(rng_);
+      // The sporadic model forbids arrivals closer than r; offsets can
+      // also land a candidate before the previous epoch's arrival, and
+      // the same rule (drop, keep the earlier one) restores order.
+      if (!d[i].empty() &&
+          t < static_cast<long long>(d[i].back()) + apps_[i].min_interarrival)
+        continue;
+      d[i].push_back(checked_tick(t, "correlated"));
+    }
+    epoch += gap_dist(rng_);
+  }
+  return finalize(std::move(d));
+}
+
+sched::Scenario ScenarioGenerator::system_adversarial(
+    const std::vector<std::vector<int>>& slots,
+    const std::vector<int>& victims) {
+  TTDIM_EXPECTS(!slots.empty());
+  TTDIM_EXPECTS(victims.size() == slots.size());
+  std::vector<char> seen(apps_.size(), 0);
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    TTDIM_EXPECTS(!slots[s].empty());
+    bool victim_in_slot = false;
+    for (int j : slots[s]) {
+      TTDIM_EXPECTS(j >= 0 && j < app_count());
+      TTDIM_EXPECTS(!seen[static_cast<std::size_t>(j)]);  // disjoint slots
+      seen[static_cast<std::size_t>(j)] = 1;
+      victim_in_slot = victim_in_slot || j == victims[s];
+    }
+    TTDIM_EXPECTS(victim_in_slot);
+  }
+  // One common d0 past every mentioned application's r - 1, so each
+  // slot's pending instances (arriving at d0 + 1 - r_j) are valid ticks
+  // and all victims coincide on the same tick.
+  int d0 = 0;
+  for (std::size_t s = 0; s < slots.size(); ++s)
+    for (int j : slots[s])
+      d0 = std::max(d0, apps_[static_cast<std::size_t>(j)].min_interarrival - 1);
+  std::vector<std::vector<int>> d(apps_.size());
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    const verify::AppTiming& v =
+        apps_[static_cast<std::size_t>(victims[s])];
+    const long long window =
+        static_cast<long long>(v.t_star_w) + verify::max_dwell(v);
+    // Same fail-fast as worst_case_coincidence: an overflowing window
+    // would materialize up to window / min(r) arrivals before any
+    // per-tick check could throw.
+    if (static_cast<long long>(d0) + window >
+        std::numeric_limits<int>::max())
+      throw std::invalid_argument(
+          "ScenarioGenerator::system_adversarial: critical window "
+          "overflows the tick range");
+    d[static_cast<std::size_t>(victims[s])].push_back(d0);
+    for (int j : slots[s]) {
+      if (j == victims[s]) continue;
+      const int r = apps_[static_cast<std::size_t>(j)].min_interarrival;
+      for (long long t = d0 + 1 - static_cast<long long>(r);
+           t <= d0 + window; t += r)
+        d[static_cast<std::size_t>(j)].push_back(
+            checked_tick(t, "system_adversarial"));
+    }
+  }
+  return finalize(std::move(d));
+}
+
+sched::Scenario ScenarioGenerator::system_adversarial(
+    const std::vector<std::vector<int>>& slots) {
+  std::vector<int> victims;
+  victims.reserve(slots.size());
+  for (const std::vector<int>& slot : slots) {
+    TTDIM_EXPECTS(!slot.empty());
+    std::uniform_int_distribution<int> pick(
+        0, static_cast<int>(slot.size()) - 1);
+    victims.push_back(slot[static_cast<std::size_t>(pick(rng_))]);
+  }
+  return system_adversarial(slots, victims);
+}
+
+sched::Scenario ScenarioGenerator::churn(int episodes,
+                                         int instances_per_episode) {
+  TTDIM_EXPECTS(episodes >= 1);
+  TTDIM_EXPECTS(instances_per_episode >= 1);
+  std::vector<std::vector<int>> d(apps_.size());
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const int r = apps_[i].min_interarrival;
+    const auto clamped = [](long long v) {
+      return static_cast<int>(
+          std::min<long long>(v, std::numeric_limits<int>::max()));
+    };
+    // Active gaps in [r, 2r], departure pauses adding [2r, 6r] on top of
+    // the trailing active gap; bounds clamp like random()'s jitter so
+    // extreme rates stay well-defined.
+    std::uniform_int_distribution<int> start_dist(0, std::max(0, r - 1));
+    std::uniform_int_distribution<int> gap_dist(r, clamped(2ll * r));
+    std::uniform_int_distribution<int> pause_dist(clamped(2ll * r),
+                                                  clamped(6ll * r));
+    long long t = start_dist(rng_);
+    for (int e = 0; e < episodes; ++e) {
+      for (int k = 0; k < instances_per_episode; ++k) {
+        d[i].push_back(checked_tick(t, "churn"));
+        t += gap_dist(rng_);
+      }
+      t += pause_dist(rng_);
+    }
+  }
+  return finalize(std::move(d));
+}
+
 sched::Scenario ScenarioGenerator::make(ScenarioKind kind,
                                         int instances_per_app) {
   switch (kind) {
@@ -183,6 +337,31 @@ sched::Scenario ScenarioGenerator::make(ScenarioKind kind,
         max_r = std::max(max_r, app.min_interarrival);
       return random(instances_per_app, max_r);
     }
+    case ScenarioKind::kCorrelated: {
+      int min_r = apps_.front().min_interarrival;
+      for (const verify::AppTiming& app : apps_)
+        min_r = std::min(min_r, app.min_interarrival);
+      return correlated(instances_per_app, std::max(0, min_r - 1));
+    }
+    case ScenarioKind::kSystemAdversarial: {
+      // Random disjoint partition: slot count uniform in [1, n], one slot
+      // draw per application (in index order), empty slots dropped.
+      std::uniform_int_distribution<int> count_pick(1, app_count());
+      const int slot_count = count_pick(rng_);
+      std::uniform_int_distribution<int> slot_pick(0, slot_count - 1);
+      std::vector<std::vector<int>> slots(
+          static_cast<std::size_t>(slot_count));
+      for (int i = 0; i < app_count(); ++i)
+        slots[static_cast<std::size_t>(slot_pick(rng_))].push_back(i);
+      slots.erase(std::remove_if(slots.begin(), slots.end(),
+                                 [](const std::vector<int>& s) {
+                                   return s.empty();
+                                 }),
+                  slots.end());
+      return system_adversarial(slots);
+    }
+    case ScenarioKind::kChurn:
+      return churn(instances_per_app, 2);
   }
   // Unreachable when every kind is handled above; thrown (rather than
   // TTDIM_CHECK(false)) so -Wreturn-type can see the function never falls

@@ -23,7 +23,24 @@ enum class ScenarioKind {
   kStaggered,  ///< application i first disturbed at i * offset
   kWorstCaseCoincidence,  ///< maximal interference on one victim app
   kRandom,     ///< random arrivals with spacing in [r, r + jitter]
+  kCorrelated,         ///< bursty epochs with per-app participation coins
+  kSystemAdversarial,  ///< per-slot worst-case coincidence, victims aligned
+  kChurn,              ///< arrival/departure streams: active episodes
 };
+
+/// Every kind, in declaration order. Fuzz loops and coverage accounting
+/// iterate this instead of hand-maintaining per-site lists that silently
+/// go stale when a kind is added.
+inline constexpr ScenarioKind kAllScenarioKinds[] = {
+    ScenarioKind::kBurst,         ScenarioKind::kStaggered,
+    ScenarioKind::kWorstCaseCoincidence, ScenarioKind::kRandom,
+    ScenarioKind::kCorrelated,    ScenarioKind::kSystemAdversarial,
+    ScenarioKind::kChurn,
+};
+
+/// Stable lower-case identifier ("burst" .. "churn") for reports and
+/// replayable corpus artifacts.
+[[nodiscard]] const char* scenario_kind_name(ScenarioKind kind);
 
 class ScenarioGenerator {
  public:
@@ -60,12 +77,61 @@ class ScenarioGenerator {
   /// tests/scenario_generator_test.cpp.
   [[nodiscard]] sched::Scenario random(int instances_per_app, int jitter);
 
+  /// Correlated/bursty arrivals: `bursts` correlated epochs, the first at
+  /// a random tick in [0, min r), consecutive epochs separated by a gap
+  /// uniform in [1, 2 * max r]. At each epoch every application draws a
+  /// fair participation coin (the epoch's anchor application, index
+  /// epoch mod n, joins regardless, so no epoch is empty) and joining
+  /// applications arrive at epoch + a uniform offset in [0, spread].
+  /// Candidates closer than r to the application's previous arrival are
+  /// dropped — the sporadic model forbids them, and dropping (rather than
+  /// shifting) preserves the correlation structure. PRNG consumption per
+  /// epoch and application: one coin, then one offset if joining.
+  /// Arithmetic is 64-bit with the same overflow behaviour as random().
+  [[nodiscard]] sched::Scenario correlated(int bursts, int spread);
+
+  /// Multi-slot system-level adversarial coincidence: `slots` partitions a
+  /// subset of the applications into disjoint index groups (one per TT
+  /// slot), and victims[s] names the victim inside slots[s]. Every slot
+  /// simultaneously experiences its worst_case_coincidence pattern — all
+  /// victims are disturbed at one common tick d0 (pushed past every
+  /// mentioned application's r so pending instances stay representable),
+  /// and each slot's other members contribute one instance pending just
+  /// before d0 plus one per started period inside their victim's critical
+  /// window, attaining verify::max_coinciding_instances per slot (pinned
+  /// by tests). Applications not mentioned in `slots` get no arrivals.
+  [[nodiscard]] sched::Scenario system_adversarial(
+      const std::vector<std::vector<int>>& slots,
+      const std::vector<int>& victims);
+
+  /// As above with a PRNG-chosen victim per slot (one draw per slot, in
+  /// slot order).
+  [[nodiscard]] sched::Scenario system_adversarial(
+      const std::vector<std::vector<int>>& slots);
+
+  /// Arrival/departure churn stream: per application, `episodes` active
+  /// episodes of `instances_per_episode` arrivals at gaps uniform in
+  /// [r, 2r], separated by departure pauses that add a further uniform
+  /// [2r, 6r] on top of the trailing active gap (the application leaves
+  /// the system, then re-registers). First arrival uniform in [0, r).
+  /// PRNG consumption per application: one start, then one gap per
+  /// instance and one pause per episode. Gap bounds are computed wide and
+  /// clamped like random()'s; arrivals accumulate in 64-bit and overflow
+  /// throws std::invalid_argument. This is the long-horizon workload the
+  /// future redimension(Solution, delta) API will be benchmarked against.
+  [[nodiscard]] sched::Scenario churn(int episodes, int instances_per_episode);
+
   /// Dispatch by kind (kRandom uses instances_per_app and a jitter of the
   /// largest r; kStaggered uses the smallest r as offset; coincidence
-  /// picks a PRNG-chosen victim). Convenience for fuzz-style loops. The
-  /// documented jitter/offset choices are pinned against the direct
-  /// calls by tests (make(kRandom) == random(n, largest r) under the
-  /// same PRNG state, likewise kStaggered/smallest r).
+  /// picks a PRNG-chosen victim; kCorrelated uses instances_per_app
+  /// epochs and a spread of the smallest r - 1; kSystemAdversarial draws
+  /// a random partition — slot count uniform in [1, n], then one slot
+  /// draw per application, empty slots dropped — and a random victim per
+  /// slot; kChurn uses instances_per_app episodes of 2 arrivals).
+  /// Convenience for fuzz-style loops. The documented parameter choices
+  /// are pinned against the direct calls by tests (make(kRandom) ==
+  /// random(n, largest r) under the same PRNG state, likewise
+  /// kStaggered/smallest r, kCorrelated and kChurn).
   [[nodiscard]] sched::Scenario make(ScenarioKind kind,
                                      int instances_per_app = 1);
 

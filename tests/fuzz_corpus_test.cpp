@@ -1,0 +1,74 @@
+// Corpus replay gate: every checked-in artifact under tests/corpus/ is
+// re-verified (fresh DiscreteVerifier proof of the recorded claim) and
+// re-simulated (recorded scenario against the runtime scheduler, expected
+// outcome included). A soundness regression anywhere in the
+// verifier/oracle/scheduler stack turns a corpus entry red — which is the
+// whole point: every counterexample the fuzzer ever shrank stays fatal
+// forever. Regenerate the seed entries with
+// `ttdim_fuzz --mint-corpus tests/corpus` after intentional semantics
+// changes.
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/fuzz/artifact.h"
+#include "engine/fuzz/soundness_fuzzer.h"
+#include "gtest/gtest.h"
+
+#ifndef TTDIM_CORPUS_DIR
+#error "TTDIM_CORPUS_DIR must point at the checked-in corpus directory"
+#endif
+
+namespace ttdim {
+namespace {
+
+using engine::fuzz::Artifact;
+using engine::fuzz::ReplayResult;
+
+std::vector<std::string> corpus_paths() {
+  return engine::fuzz::list_artifacts(TTDIM_CORPUS_DIR);
+}
+
+TEST(FuzzCorpusTest, CorpusIsPresent) {
+  // An empty corpus would silently turn the replay gate into a no-op.
+  EXPECT_GE(corpus_paths().size(), 9u)
+      << "expected the seed corpus under " << TTDIM_CORPUS_DIR;
+}
+
+TEST(FuzzCorpusTest, EveryArtifactParsesAndRoundTrips) {
+  for (const std::string& path : corpus_paths()) {
+    SCOPED_TRACE(path);
+    const Artifact artifact = engine::fuzz::load_artifact(path);
+    EXPECT_FALSE(artifact.description.empty());
+    EXPECT_EQ(Artifact::parse(artifact.serialize()).serialize(),
+              artifact.serialize());
+  }
+}
+
+TEST(FuzzCorpusTest, EveryArtifactReplaysGreen) {
+  for (const std::string& path : corpus_paths()) {
+    SCOPED_TRACE(path);
+    const ReplayResult verdict =
+        engine::fuzz::replay(engine::fuzz::load_artifact(path));
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+  }
+}
+
+TEST(FuzzCorpusTest, SeedCorpusSpansBothVerdictsAndManyScenarioKinds) {
+  std::set<std::string> kinds;
+  bool saw_safe = false;
+  bool saw_unsafe = false;
+  for (const std::string& path : corpus_paths()) {
+    const Artifact artifact = engine::fuzz::load_artifact(path);
+    kinds.insert(artifact.scenario_kind);
+    (artifact.claimed_safe ? saw_safe : saw_unsafe) = true;
+  }
+  EXPECT_TRUE(saw_safe);
+  EXPECT_TRUE(saw_unsafe);
+  // burst, coincidence, witness, staggered, random, correlated,
+  // system_adversarial, churn, hyperperiod.
+  EXPECT_GE(kinds.size(), 9u);
+}
+
+}  // namespace
+}  // namespace ttdim

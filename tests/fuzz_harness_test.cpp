@@ -1,0 +1,222 @@
+// The soundness fuzzer's own acceptance tests: artifact round-trip and
+// strict parsing, witness/hyperperiod scenario construction, report
+// determinism, full tier + scenario-kind coverage of a clean campaign,
+// and — the harness's reason to exist — an injected unsound admission
+// verdict being caught, shrunk to a minimal population and emitted as an
+// artifact that replays red.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/fuzz/artifact.h"
+#include "engine/fuzz/soundness_fuzzer.h"
+#include "gtest/gtest.h"
+#include "sched/slot_scheduler.h"
+#include "verify/discrete.h"
+
+namespace ttdim {
+namespace {
+
+using engine::fuzz::Artifact;
+using engine::fuzz::FuzzConfig;
+using engine::fuzz::FuzzReport;
+using engine::fuzz::ReplayResult;
+using verify::AppTiming;
+
+AppTiming uniform_app(const std::string& name, int t_star, int t_minus,
+                      int t_plus, int r) {
+  AppTiming a;
+  a.name = name;
+  a.t_star_w = t_star;
+  a.t_minus.assign(static_cast<size_t>(t_star) + 1, t_minus);
+  a.t_plus.assign(static_cast<size_t>(t_star) + 1, t_plus);
+  a.min_interarrival = r;
+  return a;
+}
+
+Artifact sample_artifact() {
+  Artifact a;
+  a.description = "round-trip sample";
+  a.seed = 42;
+  a.iteration = 7;
+  a.scenario_kind = "burst";
+  a.policy = verify::SlotPolicy::kSlackAware;
+  a.max_disturbances_per_app = 2;
+  a.max_states = 123456;
+  a.claimed_safe = true;
+  a.apps = {uniform_app("A", 2, 1, 2, 9), uniform_app("B", 1, 1, 1, 6)};
+  a.scenario.disturbances = {{0, 9, 18}, {1, 7}};
+  a.scenario.horizon = 25;
+  a.expect_violator = -1;
+  a.expect_violation_tick = -1;
+  return a;
+}
+
+TEST(FuzzArtifactTest, SerializeParseRoundTripsByteExactly) {
+  const Artifact a = sample_artifact();
+  const std::string bytes = a.serialize();
+  const Artifact back = Artifact::parse(bytes);
+  EXPECT_EQ(back.serialize(), bytes);
+  EXPECT_EQ(back.description, a.description);
+  EXPECT_EQ(back.policy, a.policy);
+  EXPECT_EQ(back.claimed_safe, a.claimed_safe);
+  EXPECT_EQ(back.apps.size(), a.apps.size());
+  EXPECT_EQ(back.scenario.disturbances, a.scenario.disturbances);
+}
+
+TEST(FuzzArtifactTest, RoundTripsForcedGrantsAndViolationExpectation) {
+  Artifact a = sample_artifact();
+  a.scenario_kind = "witness";
+  a.claimed_safe = false;
+  a.scenario.horizon = 4;
+  a.scenario.disturbances = {{0}, {0}};
+  a.scenario.forced_grants = {0, 1, -1, -1};
+  a.expect_violator = 1;
+  a.expect_violation_tick = 2;
+  const std::string bytes = a.serialize();
+  const Artifact back = Artifact::parse(bytes);
+  EXPECT_EQ(back.serialize(), bytes);
+  EXPECT_EQ(back.scenario.forced_grants, a.scenario.forced_grants);
+  EXPECT_EQ(back.expect_violator, 1);
+  EXPECT_EQ(back.expect_violation_tick, 2);
+}
+
+TEST(FuzzArtifactTest, ParserRejectsMalformedInput) {
+  const std::string good = sample_artifact().serialize();
+  // Wrong header magic.
+  EXPECT_THROW(Artifact::parse("ttdim-nope v1\n"), std::invalid_argument);
+  // Unsupported version.
+  std::string bad = good;
+  bad.replace(bad.find(" v1"), 3, " v9");
+  EXPECT_THROW(Artifact::parse(bad), std::invalid_argument);
+  // Truncation loses the trailing "end" sentinel.
+  EXPECT_THROW(Artifact::parse(good.substr(0, good.size() / 2)),
+               std::invalid_argument);
+  // A timing table violating AppTiming::validate (t_minus of 0).
+  bad = good;
+  bad.replace(bad.find("tminus 1"), 8, "tminus 0");
+  EXPECT_THROW(Artifact::parse(bad), std::invalid_argument);
+  EXPECT_THROW(Artifact::parse(""), std::invalid_argument);
+}
+
+TEST(FuzzScenarioTest, WitnessScenarioReplaysTheViolation) {
+  // Two zero-wait-tolerance applications colliding: provably unsafe, and
+  // the witness must drive the runtime scheduler into the same miss.
+  const std::vector<AppTiming> apps{uniform_app("U0", 0, 2, 2, 4),
+                                    uniform_app("U1", 0, 2, 2, 4)};
+  verify::DiscreteVerifier::Options opt;
+  opt.want_witness = true;
+  const verify::SlotVerdict verdict =
+      verify::DiscreteVerifier(apps).verify(opt);
+  ASSERT_FALSE(verdict.safe);
+  const sched::Scenario sc =
+      engine::fuzz::witness_scenario(verdict, apps.size());
+  const sched::ScheduleResult out = sched::simulate_slot(apps, sc);
+  EXPECT_TRUE(out.deadline_violated);
+  EXPECT_EQ(out.violator, verdict.violator);
+}
+
+TEST(FuzzScenarioTest, HyperperiodScenarioIsMaxRateAndWellFormed) {
+  const std::vector<AppTiming> apps{uniform_app("A", 2, 1, 2, 6),
+                                    uniform_app("B", 1, 1, 1, 4)};
+  const sched::Scenario sc = engine::fuzz::hyperperiod_scenario(apps);
+  // lcm(6, 4) = 12 arrivals at exact rate from tick 0.
+  EXPECT_EQ(sc.disturbances[0], (std::vector<int>{0, 6}));
+  EXPECT_EQ(sc.disturbances[1], (std::vector<int>{0, 4, 8}));
+  EXPECT_GT(sc.horizon, 8);
+  // Safe population + well-formed stream: must simulate cleanly.
+  const sched::ScheduleResult out = sched::simulate_slot(apps, sc);
+  EXPECT_FALSE(out.deadline_violated);
+}
+
+FuzzConfig small_config(std::uint64_t seed) {
+  FuzzConfig config;
+  config.seed = seed;
+  config.iterations = 8;
+  config.max_apps = 4;
+  return config;
+}
+
+TEST(SoundnessFuzzerTest, SameSeedYieldsByteIdenticalReports) {
+  const FuzzReport first =
+      engine::fuzz::run_soundness_fuzz(small_config(11));
+  const FuzzReport second =
+      engine::fuzz::run_soundness_fuzz(small_config(11));
+  EXPECT_EQ(first.to_string(), second.to_string());
+  const FuzzReport other =
+      engine::fuzz::run_soundness_fuzz(small_config(12));
+  EXPECT_NE(first.to_string(), other.to_string());
+}
+
+TEST(SoundnessFuzzerTest, CleanCampaignAgreesEverywhereAndCoversEverything) {
+  FuzzConfig config;
+  config.seed = 1;
+  config.iterations = 20;
+  config.solve_every = 10;
+  const FuzzReport report = engine::fuzz::run_soundness_fuzz(config);
+  EXPECT_EQ(report.disagreements, 0)
+      << report.to_string();
+  EXPECT_EQ(report.solve_checks, 2);
+  // Every oracle tier and every scenario kind must have been exercised —
+  // the same gate `ttdim_fuzz --require-full-coverage` enforces.
+  EXPECT_TRUE(report.missing_coverage().empty()) << report.to_string();
+  EXPECT_GE(report.scenario_kind_counts.size(), 8u);
+}
+
+TEST(SoundnessFuzzerTest, InjectedUnsoundVerdictIsCaughtShrunkAndReplaysRed) {
+  FuzzConfig config;
+  config.seed = 5;
+  config.iterations = 10;
+  config.inject_unsound = true;
+  config.artifacts_dir =
+      ::testing::TempDir() + "/ttdim_fuzz_injected_artifacts";
+  const FuzzReport report = engine::fuzz::run_soundness_fuzz(config);
+  ASSERT_GT(report.disagreements, 0) << report.to_string();
+  ASSERT_GT(report.artifacts_written, 0) << report.to_string();
+  bool saw_red = false;
+  std::size_t smallest = 1000;
+  for (const std::string& path : report.artifact_paths) {
+    const Artifact artifact = engine::fuzz::load_artifact(path);
+    smallest = std::min(smallest, artifact.apps.size());
+    const ReplayResult verdict = engine::fuzz::replay(artifact);
+    if (!verdict.ok) saw_red = true;
+  }
+  // The shrinker must reach the minimal failing shape: the injection only
+  // flips populations of >= 2 applications, so a fully shrunk
+  // counterexample has exactly 2.
+  EXPECT_EQ(smallest, 2u);
+  // A counterexample of a live (injected) bug replays red — that is what
+  // makes the corpus a regression net once the artifact is checked in.
+  EXPECT_TRUE(saw_red);
+}
+
+TEST(SoundnessFuzzerTest, MintedSeedCorpusSelfValidates) {
+  const std::string dir = ::testing::TempDir() + "/ttdim_fuzz_minted_corpus";
+  const std::vector<std::string> written =
+      engine::fuzz::mint_seed_corpus(dir);
+  EXPECT_GE(written.size(), 8u);
+  const std::vector<std::string> listed = engine::fuzz::list_artifacts(dir);
+  EXPECT_EQ(listed.size(), written.size());
+  for (const std::string& path : listed) {
+    const ReplayResult verdict =
+        engine::fuzz::replay(engine::fuzz::load_artifact(path));
+    EXPECT_TRUE(verdict.ok) << path << ": " << verdict.message;
+  }
+  for (const std::string& path : written) std::remove(path.c_str());
+}
+
+TEST(SoundnessFuzzerTest, WallBudgetTruncatesButNeverAltersTheTrajectory) {
+  // A zero-ish budget stops after the first between-iteration check; the
+  // work that did run must match the unbudgeted campaign's prefix.
+  FuzzConfig budgeted = small_config(3);
+  budgeted.max_seconds = 1e-9;
+  const FuzzReport short_run = engine::fuzz::run_soundness_fuzz(budgeted);
+  EXPECT_LT(short_run.iterations, budgeted.iterations);
+  FuzzConfig exact = small_config(3);
+  exact.iterations = short_run.iterations;
+  const FuzzReport replayed = engine::fuzz::run_soundness_fuzz(exact);
+  EXPECT_EQ(short_run.to_string(), replayed.to_string());
+}
+
+}  // namespace
+}  // namespace ttdim

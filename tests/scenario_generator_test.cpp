@@ -2,8 +2,11 @@
 // well-formedness (the slot simulator's own scenario validation must
 // accept every generated scenario), and the adversarial guarantee that
 // the coincidence mode attains verify::max_coinciding_instances.
+#include <iterator>
 #include <limits>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "engine/scenario_generator.h"
@@ -40,9 +43,11 @@ std::vector<AppTiming> skewed_apps() {
   return {uniform_app("V", 12, 2, 8, 25), uniform_app("O", 1, 1, 2, 5)};
 }
 
-const ScenarioKind kAllKinds[] = {
-    ScenarioKind::kBurst, ScenarioKind::kStaggered,
-    ScenarioKind::kWorstCaseCoincidence, ScenarioKind::kRandom};
+// The shared list covers every kind — tests sweep it so a future kind is
+// automatically under the well-formedness/determinism/overflow properties.
+constexpr auto& kAllKinds = kAllScenarioKinds;
+static_assert(std::size(kAllScenarioKinds) == 7,
+              "update the kind-specific tests when adding a scenario kind");
 
 void expect_well_formed(const sched::Scenario& s,
                         const std::vector<AppTiming>& apps) {
@@ -197,6 +202,121 @@ TEST(ScenarioGenerator, RejectsBadArguments) {
   EXPECT_THROW(ScenarioGenerator({}, 0), std::logic_error);
 }
 
+TEST(ScenarioGenerator, KindNamesAreStableAndUnique) {
+  std::set<std::string> names;
+  for (ScenarioKind kind : kAllKinds) {
+    const std::string name = scenario_kind_name(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name << " duplicated";
+  }
+  // Reports and corpus artifacts key on these strings; renames break
+  // replayability, so pin the full mapping.
+  EXPECT_STREQ(scenario_kind_name(ScenarioKind::kBurst), "burst");
+  EXPECT_STREQ(scenario_kind_name(ScenarioKind::kCorrelated), "correlated");
+  EXPECT_STREQ(scenario_kind_name(ScenarioKind::kSystemAdversarial),
+               "system_adversarial");
+  EXPECT_STREQ(scenario_kind_name(ScenarioKind::kChurn), "churn");
+}
+
+TEST(ScenarioGenerator, SystemAdversarialAttainsPerSlotBoundsSimultaneously) {
+  // Two slots: the skewed victim/disturber pair (bound > 2, so the
+  // pattern is non-trivial) next to a singleton slot. Explicit victims
+  // keep the construction PRNG-free.
+  std::vector<AppTiming> apps = skewed_apps();
+  apps.push_back(uniform_app("W", 4, 1, 3, 11));
+  ScenarioGenerator gen(apps, 17);
+  const std::vector<std::vector<int>> slots = {{0, 1}, {2}};
+  const sched::Scenario s = gen.system_adversarial(slots, {0, 2});
+  expect_well_formed(s, apps);
+  // Victims coincide on one common d0 with a single arrival each.
+  ASSERT_EQ(s.disturbances[0].size(), 1u);
+  ASSERT_EQ(s.disturbances[2].size(), 1u);
+  const int d0 = s.disturbances[0][0];
+  EXPECT_EQ(s.disturbances[2][0], d0);
+  // The non-victim attains the pairwise coincidence bound against its
+  // slot's victim, exactly like the single-slot adversarial kind.
+  const int window = apps[0].t_star_w + verify::max_dwell(apps[0]);
+  int coinciding = 0;
+  for (int t : s.disturbances[1])
+    if (t > d0 - apps[1].min_interarrival && t <= d0 + window) ++coinciding;
+  EXPECT_EQ(coinciding, verify::max_coinciding_instances(apps[0], apps[1]));
+  EXPECT_GE(coinciding, 4);
+}
+
+TEST(ScenarioGenerator, SystemAdversarialLeavesUnmentionedAppsQuiet) {
+  const std::vector<AppTiming> apps = mixed_apps();
+  ScenarioGenerator gen(apps, 17);
+  const sched::Scenario s = gen.system_adversarial({{1}}, {1});
+  EXPECT_TRUE(s.disturbances[0].empty());
+  EXPECT_EQ(s.disturbances[1].size(), 1u);
+  EXPECT_TRUE(s.disturbances[2].empty());
+}
+
+TEST(ScenarioGenerator, SystemAdversarialRejectsMalformedSlots) {
+  ScenarioGenerator gen(mixed_apps(), 17);
+  // Overlapping slots, out-of-range indices, victim outside its slot,
+  // arity mismatch: all library-misuse, all loud.
+  EXPECT_THROW(static_cast<void>(gen.system_adversarial({{0, 1}, {1}})),
+               std::logic_error);
+  EXPECT_THROW(static_cast<void>(gen.system_adversarial({{0, 3}})),
+               std::logic_error);
+  EXPECT_THROW(static_cast<void>(gen.system_adversarial({{0, 1}}, {2})),
+               std::logic_error);
+  EXPECT_THROW(static_cast<void>(gen.system_adversarial({{0}}, {0, 1})),
+               std::logic_error);
+  EXPECT_THROW(static_cast<void>(gen.system_adversarial({})),
+               std::logic_error);
+}
+
+TEST(ScenarioGenerator, ChurnEmitsEpisodesSeparatedByDeparturePauses) {
+  const std::vector<AppTiming> apps = mixed_apps();
+  ScenarioGenerator gen(apps, 23);
+  const int episodes = 3, per_episode = 2;
+  const sched::Scenario s = gen.churn(episodes, per_episode);
+  expect_well_formed(s, apps);
+  for (size_t i = 0; i < apps.size(); ++i) {
+    const std::vector<int>& d = s.disturbances[i];
+    const int r = apps[i].min_interarrival;
+    ASSERT_EQ(d.size(), static_cast<size_t>(episodes * per_episode));
+    for (size_t k = 1; k < d.size(); ++k) {
+      const int gap = d[k] - d[k - 1];
+      if (k % static_cast<size_t>(per_episode) == 0) {
+        // Inter-episode: trailing active gap [r, 2r] + pause [2r, 6r].
+        EXPECT_GE(gap, 3 * r) << apps[i].name << " boundary " << k;
+        EXPECT_LE(gap, 8 * r) << apps[i].name << " boundary " << k;
+      } else {
+        EXPECT_LE(gap, 2 * r) << apps[i].name << " within-episode " << k;
+      }
+    }
+  }
+}
+
+TEST(ScenarioGenerator, CorrelatedAnchorsEveryEpoch) {
+  // With spread 0 every participant of an epoch arrives exactly at the
+  // epoch tick, so epochs are recoverable from the union of arrivals and
+  // the anchor rule ("someone joins every epoch") is observable: the
+  // number of distinct arrival ticks must equal the number of epochs
+  // whose candidates survived the spacing rule — at least one, and with
+  // mixed_apps' smallest r = 8 and epoch gaps >= 1 not every epoch
+  // survives, so only the lower bound is asserted.
+  const std::vector<AppTiming> apps = mixed_apps();
+  ScenarioGenerator gen(apps, 31);
+  const sched::Scenario s = gen.correlated(6, 0);
+  expect_well_formed(s, apps);
+  std::set<int> epochs;
+  size_t arrivals = 0;
+  for (const std::vector<int>& d : s.disturbances) {
+    for (int t : d) epochs.insert(t);
+    arrivals += d.size();
+  }
+  EXPECT_GE(epochs.size(), 1u);
+  EXPECT_LE(epochs.size(), 6u);
+  // Correlation: strictly fewer distinct ticks than arrivals would hold
+  // only probabilistically, but at least one epoch must host the anchor
+  // plus any coin-joiner sharing the tick — assert arrivals cover epochs.
+  EXPECT_GE(arrivals, epochs.size());
+}
+
 TEST(ScenarioGenerator, MakeUsesDocumentedJitterAndOffsetChoices) {
   // The header documents make(kRandom) as random(n, largest r) and
   // make(kStaggered) as staggered(smallest r, n); this pins doc and
@@ -213,6 +333,16 @@ TEST(ScenarioGenerator, MakeUsesDocumentedJitterAndOffsetChoices) {
   const sched::Scenario d = direct.staggered(8, 2);
   EXPECT_EQ(c.disturbances, d.disturbances);
   EXPECT_EQ(c.horizon, d.horizon);
+  // The new kinds document their make() parameters the same way:
+  // kCorrelated = correlated(n, smallest r - 1), kChurn = churn(n, 2).
+  const sched::Scenario e = via_make.make(ScenarioKind::kCorrelated, 4);
+  const sched::Scenario f = direct.correlated(4, 7);
+  EXPECT_EQ(e.disturbances, f.disturbances);
+  EXPECT_EQ(e.horizon, f.horizon);
+  const sched::Scenario g = via_make.make(ScenarioKind::kChurn, 3);
+  const sched::Scenario h = direct.churn(3, 2);
+  EXPECT_EQ(g.disturbances, h.disturbances);
+  EXPECT_EQ(g.horizon, h.horizon);
 }
 
 TEST(ScenarioGenerator, ExtremeTimingValuesNeverWrapIntoUndefinedBehaviour) {
