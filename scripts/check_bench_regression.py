@@ -2,9 +2,9 @@
 """Gate on benchmark regressions of the case-study solve.
 
 Compares fresh google-benchmark JSON reports (bench_oracle, and since
-the analysis-cache PR also bench_batch for BM_CaseStudySolveAnalysisWarm
-and BM_CaseStudySolveSubsumptionWarm) against the checked-in
-bench/BENCH_baseline.json. Any gated benchmark that cannot be compared —
+the analysis-cache PR also bench_batch for BM_CaseStudySolveAnalysisWarm,
+BM_CaseStudySolveSubsumptionWarm and BM_CaseStudySolveDiskWarm) against
+the checked-in bench/BENCH_baseline.json. Any gated benchmark that cannot be compared —
 missing from the current reports or the baseline, or normalized by an
 absent/zero calibration — fails the gate loudly; nothing is skipped. Absolute times are
 meaningless across machines, so every solve time is first normalized by
@@ -40,6 +40,7 @@ GATED = [
     "BM_CaseStudySolvePrefixWarm",
     "BM_CaseStudySolveAnalysisWarm",
     "BM_CaseStudySolveSubsumptionWarm",
+    "BM_CaseStudySolveDiskWarm",
 ]
 CALIBRATION = "BM_Calibration"
 

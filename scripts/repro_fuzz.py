@@ -48,6 +48,9 @@ def main() -> int:
 
     replay = sub.add_parser("replay", help="replay artifact file or directory")
     replay.add_argument("target", help="a .ttfz file or a directory of them")
+    replay.add_argument("--disk-cache", default="",
+                        help="persistent cache directory: cross-check "
+                             "disk-tier verdicts against fresh proofs")
 
     campaign = sub.add_parser("campaign", help="re-run a campaign from a seed")
     campaign.add_argument("--seed", required=True)
@@ -55,6 +58,10 @@ def main() -> int:
     campaign.add_argument("--max-apps", default="7")
     campaign.add_argument("--solve-every", default="100")
     campaign.add_argument("--artifacts-out", default="fuzz-artifacts")
+    campaign.add_argument("--disk-cache", default="",
+                          help="persistent cache directory: add the "
+                               "disk-backed oracle configuration (what "
+                               "nightly CI runs)")
 
     mint = sub.add_parser("mint", help="regenerate the seed corpus")
     mint.add_argument("--out", default=str(REPO / "tests" / "corpus"))
@@ -73,6 +80,8 @@ def main() -> int:
         target = pathlib.Path(args.target)
         flag = "--replay-dir" if target.is_dir() else "--replay"
         cmd = [str(binary), flag, str(target)]
+        if args.disk_cache:
+            cmd += ["--disk-cache", args.disk_cache]
     elif args.mode == "campaign":
         cmd = [str(binary), "--seed", args.seed,
                "--iterations", args.iterations,
@@ -80,6 +89,8 @@ def main() -> int:
                "--solve-every", args.solve_every,
                "--artifacts-out", args.artifacts_out,
                "--require-full-coverage"]
+        if args.disk_cache:
+            cmd += ["--disk-cache", args.disk_cache]
     else:  # mint
         cmd = [str(binary), "--mint-corpus", args.out]
 

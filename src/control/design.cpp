@@ -162,4 +162,31 @@ std::size_t byte_cost(const SwitchingStability& s) {
   return sizeof(SwitchingStability) - sizeof(Matrix) + linalg::byte_cost(s.p);
 }
 
+void encode(support::codec::Encoder& enc, const SwitchingStability& s) {
+  enc.u8(s.tt_stable ? 1 : 0);
+  enc.u8(s.et_stable ? 1 : 0);
+  enc.u8(s.degradation_free ? 1 : 0);
+  enc.i32(s.settling_et);
+  enc.i32(s.worst_settling);
+  linalg::encode(enc, linalg::CommonLyapunov{s.common_lyapunov, s.p});
+}
+
+bool decode(support::codec::Decoder& dec, SwitchingStability& s) {
+  s = SwitchingStability{};
+  std::uint8_t tt = 0;
+  std::uint8_t et = 0;
+  std::uint8_t df = 0;
+  if (!dec.u8(tt) || !dec.u8(et) || !dec.u8(df) || tt > 1 || et > 1 || df > 1)
+    return false;
+  if (!dec.i32(s.settling_et) || !dec.i32(s.worst_settling)) return false;
+  linalg::CommonLyapunov cqlf;
+  if (!linalg::decode(dec, cqlf)) return false;
+  s.tt_stable = tt != 0;
+  s.et_stable = et != 0;
+  s.degradation_free = df != 0;
+  s.common_lyapunov = cqlf.found;
+  s.p = std::move(cqlf.p);
+  return true;
+}
+
 }  // namespace ttdim::control

@@ -93,4 +93,11 @@ struct SwitchingStability {
 void append_canonical(std::string& out, const SwitchingStability& s);
 [[nodiscard]] std::size_t byte_cost(const SwitchingStability& s);
 
+/// Round-trip binary codec for disk-cached stability verdicts (the CQLF
+/// certificate rides through the linalg::CommonLyapunov codec). decode
+/// returns false on malformed input and never throws.
+void encode(support::codec::Encoder& enc, const SwitchingStability& s);
+[[nodiscard]] bool decode(support::codec::Decoder& dec,
+                          SwitchingStability& s);
+
 }  // namespace ttdim::control

@@ -47,6 +47,28 @@ void append_canonical(std::string& out, const DiscreteLti& plant) {
   linalg::append_canonical_bits(out, Matrix{{plant.h()}});
 }
 
+void encode(support::codec::Encoder& enc, const DiscreteLti& plant) {
+  linalg::encode(enc, plant.phi());
+  linalg::encode(enc, plant.gamma());
+  linalg::encode(enc, plant.c());
+  enc.f64(plant.h());
+}
+
+std::optional<DiscreteLti> decode_lti(support::codec::Decoder& dec) {
+  Matrix phi;
+  Matrix gamma;
+  Matrix c;
+  double h = 0.0;
+  if (!linalg::decode(dec, phi) || !linalg::decode(dec, gamma) ||
+      !linalg::decode(dec, c) || !dec.f64(h))
+    return std::nullopt;
+  if (!phi.is_square() || gamma.rows() != phi.rows() ||
+      c.cols() != phi.rows() || !(h > 0.0) || !phi.all_finite() ||
+      !gamma.all_finite() || !c.all_finite())
+    return std::nullopt;
+  return DiscreteLti(std::move(phi), std::move(gamma), std::move(c), h);
+}
+
 Matrix closed_loop(const DiscreteLti& plant, const Matrix& k) {
   TTDIM_EXPECTS(k.rows() == plant.n_inputs() && k.cols() == plant.n_states());
   return plant.phi() - plant.gamma() * k;

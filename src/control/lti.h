@@ -1,6 +1,8 @@
 // Discrete-time LTI plant and closed-loop models (paper Sec. 2).
 #pragma once
 
+#include <optional>
+
 #include "linalg/matrix.h"
 
 namespace ttdim::control {
@@ -45,6 +47,14 @@ class DiscreteLti {
 /// content-addressed identity of the dynamics, as consumed by
 /// engine::analysis::AppAnalysisKey. Pure function of the plant data.
 void append_canonical(std::string& out, const DiscreteLti& plant);
+
+/// Round-trip binary codec for disk-cached solutions. DiscreteLti has a
+/// validating constructor and no default state, so the decoder returns
+/// nullopt on malformed input (checking the constructor's preconditions
+/// up front — untrusted bytes must never reach a throwing TTDIM_EXPECTS).
+void encode(support::codec::Encoder& enc, const DiscreteLti& plant);
+[[nodiscard]] std::optional<DiscreteLti> decode_lti(
+    support::codec::Decoder& dec);
 
 /// Closed-loop matrix phi - gamma k for u = -k x (paper Eq. (3)). `k` is a
 /// 1 x n row gain.

@@ -8,6 +8,8 @@
 
 #include "engine/analysis/analysis_cache.h"
 #include "engine/analysis/app_analysis.h"
+#include "engine/cache/disk_cache.h"
+#include "engine/cache/solution_cache.h"
 #include "engine/oracle/incremental_oracle.h"
 #include "engine/oracle/snapshot_cache.h"
 #include "engine/oracle/verdict_cache.h"
@@ -21,7 +23,111 @@ namespace {
 using Clock = std::chrono::steady_clock;
 using engine::oracle::ms_since;
 
+constexpr const char* kSolutionDiskSpace = "solution";
+
+void encode_assignment(support::codec::Encoder& enc,
+                       const mapping::SlotAssignment& assignment) {
+  enc.u32(static_cast<std::uint32_t>(assignment.slots.size()));
+  for (const std::vector<int>& slot : assignment.slots) enc.ints(slot);
+}
+
+bool decode_assignment(support::codec::Decoder& dec,
+                       mapping::SlotAssignment& assignment) {
+  assignment.slots.clear();
+  std::uint32_t nslots = 0;
+  if (!dec.u32(nslots) || nslots > dec.remaining() / 4) return false;
+  assignment.slots.resize(nslots);
+  for (std::vector<int>& slot : assignment.slots)
+    if (!dec.ints(slot)) return false;
+  return true;
+}
+
 }  // namespace
+
+SolveKey SolveKey::of(const std::vector<AppSpec>& specs,
+                      const SolveOptions& options) {
+  SolveKey key;
+  for (const AppSpec& spec : specs) {
+    // Length-prefixed name: no designer-chosen string can collide with
+    // the delimiters of the serialization around it.
+    key.canonical += "app:";
+    key.canonical += std::to_string(spec.name.size());
+    key.canonical += ':';
+    key.canonical += spec.name;
+    key.canonical += ';';
+    control::append_canonical(key.canonical, spec.plant);
+    key.canonical += "kt=";
+    linalg::append_canonical_bits(key.canonical, spec.kt);
+    key.canonical += "ke=";
+    linalg::append_canonical_bits(key.canonical, spec.ke);
+    key.canonical += "r=";
+    key.canonical += std::to_string(spec.min_interarrival);
+    key.canonical += ";j*=";
+    key.canonical += std::to_string(spec.settling_requirement);
+    key.canonical += ';';
+  }
+  // Result-affecting options only. The memoize/cache/thread knobs are
+  // excluded on purpose: they never change the result (pinned by the
+  // fingerprint-equality tests), so warm and cold configurations share
+  // entries.
+  key.canonical += "opt:";
+  control::append_canonical(key.canonical, options.settling);
+  key.canonical += "g=";
+  key.canonical += std::to_string(options.tw_granularity);
+  key.canonical += ";d=";
+  key.canonical += std::to_string(options.max_disturbances_per_app);
+  key.canonical += ";s=";
+  key.canonical += options.require_switching_stability ? '1' : '0';
+  key.canonical += ";p=";
+  key.canonical += std::to_string(static_cast<int>(options.policy));
+  key.canonical += ';';
+  key.hash = engine::oracle::fnv1a(key.canonical);
+  return key;
+}
+
+void encode_solution(support::codec::Encoder& enc, const Solution& solution) {
+  enc.u32(static_cast<std::uint32_t>(solution.apps.size()));
+  for (const AppSolution& app : solution.apps) {
+    enc.str(app.spec.name);
+    control::encode(enc, app.spec.plant);
+    linalg::encode(enc, app.spec.kt);
+    linalg::encode(enc, app.spec.ke);
+    enc.i32(app.spec.min_interarrival);
+    enc.i32(app.spec.settling_requirement);
+    switching::encode(enc, app.tables);
+    verify::encode(enc, app.timing);
+    control::encode(enc, app.stability);
+  }
+  encode_assignment(enc, solution.proposed);
+  encode_assignment(enc, solution.baseline_np);
+  encode_assignment(enc, solution.baseline_delayed);
+}
+
+bool decode_solution(support::codec::Decoder& dec, Solution& solution) {
+  solution = Solution{};
+  std::uint32_t napps = 0;
+  if (!dec.u32(napps) || napps > dec.remaining()) return false;
+  solution.apps.reserve(napps);
+  for (std::uint32_t i = 0; i < napps; ++i) {
+    std::string name;
+    if (!dec.str(name)) return false;
+    std::optional<control::DiscreteLti> plant = control::decode_lti(dec);
+    if (!plant) return false;
+    AppSpec spec{std::move(name), *std::move(plant), {}, {}, 0, 0};
+    if (!linalg::decode(dec, spec.kt) || !linalg::decode(dec, spec.ke) ||
+        !dec.i32(spec.min_interarrival) || !dec.i32(spec.settling_requirement))
+      return false;
+    AppSolution app{std::move(spec), {}, {}, {}};
+    if (!switching::decode(dec, app.tables) ||
+        !verify::decode(dec, app.timing) ||
+        !control::decode(dec, app.stability))
+      return false;
+    solution.apps.push_back(std::move(app));
+  }
+  return decode_assignment(dec, solution.proposed) &&
+         decode_assignment(dec, solution.baseline_np) &&
+         decode_assignment(dec, solution.baseline_delayed);
+}
 
 double Solution::saving_vs_baseline() const {
   const int baseline = std::min(baseline_np.slot_count(),
@@ -33,6 +139,57 @@ double Solution::saving_vs_baseline() const {
 Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   TTDIM_EXPECTS(!specs.empty());
   const auto t_solve = Clock::now();
+
+  // Disk-tier accounting: SolveStats reports the delta of the shared
+  // DiskCache's monotonic counters across this solve (the
+  // analysis_evictions idiom) — approximate under concurrent sharing,
+  // exact otherwise.
+  engine::cache::DiskCache* const disk = options.disk_cache.get();
+  engine::cache::DiskCacheStats disk_before;
+  if (disk != nullptr) disk_before = disk->stats();
+  const auto stamp_disk = [&](engine::oracle::SolveStats& stats) {
+    if (disk == nullptr) return;
+    const engine::cache::DiskCacheStats now = disk->stats();
+    stats.disk_hits = now.hits - disk_before.hits;
+    stats.disk_misses = now.misses - disk_before.misses;
+    stats.disk_writes = now.writes - disk_before.writes;
+    stats.disk_trims = now.trims - disk_before.trims;
+  };
+
+  // ---- Whole-solve result cache (engine/cache/solution_cache.h). ---------
+  // A hit short-circuits the entire pipeline; the returned Solution is
+  // the stored one with fresh per-request stats. The disk "solution"
+  // space sits under the memory cache, so a fresh process answers repeat
+  // requests on the first call.
+  std::optional<SolveKey> solve_key;
+  if (options.solution_cache != nullptr) {
+    solve_key = SolveKey::of(specs, options);
+    const auto serve_hit = [&](Solution out) {
+      out.stats = {};
+      out.stats.solution_hits = 1;
+      out.stats.analysis_threads =
+          engine::resolve_threads(options.analysis_threads);
+      stamp_disk(out.stats);
+      out.stats.total_ms = ms_since(t_solve);
+      return out;
+    };
+    if (auto cached = options.solution_cache->lookup(*solve_key))
+      return serve_hit(*cached);
+    if (disk != nullptr) {
+      if (const auto blob = disk->get(kSolutionDiskSpace, solve_key->canonical)) {
+        support::codec::Decoder dec(*blob);
+        Solution stored;
+        if (decode_solution(dec, stored) && dec.done()) {
+          options.solution_cache->insert(*solve_key, stored);
+          return serve_hit(std::move(stored));
+        }
+        // Undecodable payload in a structurally valid entry (e.g. a
+        // codec change without a format bump): fall through to a cold
+        // solve; the entry ages out via the trim.
+      }
+    }
+  }
+
   Solution solution;
 
   // ---- Per-application analysis (engine/analysis). -----------------------
@@ -74,7 +231,8 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
       aspec.stop_on_unstable = options.require_switching_stability;
       const engine::analysis::AppAnalysisOutcome outcome =
           engine::analysis::analyze_app(spec.plant, spec.kt, spec.ke, aspec,
-                                        analysis_cache.get(), row_threads);
+                                        analysis_cache.get(), row_threads,
+                                        disk);
       stability_ms[static_cast<size_t>(i)] = outcome.stability_ms;
       dwell_ms[static_cast<size_t>(i)] = outcome.dwell_ms;
       cache_hit[static_cast<size_t>(i)] = outcome.cache_hit ? 1 : 0;
@@ -143,7 +301,8 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   // Both caches disabled degrades to the reference one-fresh-proof-per-
   // probe behaviour, so a single oracle covers the whole option matrix.
   const engine::oracle::IncrementalAdmissionOracle oracle(
-      vopt, cache, snapshots, options.subsumption_admission);
+      vopt, cache, snapshots, options.subsumption_admission,
+      options.disk_cache);
   const auto t_mapping = Clock::now();
   solution.proposed = mapping::first_fit(timings, order, oracle.slot_oracle());
   solution.stats.mapping_ms = ms_since(t_mapping);
@@ -185,6 +344,22 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   solution.baseline_delayed = mapping::first_fit(
       timings, order, baseline_oracle(sched::BaselineStrategy::kDelayedRequests));
   solution.stats.baseline_ms = ms_since(t_baseline);
+
+  // ---- Publish to the whole-solve result cache. ---------------------------
+  if (solve_key) {
+    solution.stats.solution_misses = 1;
+    Solution stored = solution;
+    stored.stats = {};  // stats are per-request measurement, not result
+    if (disk != nullptr) {
+      std::string encoded;
+      support::codec::Encoder enc(encoded);
+      encode_solution(enc, stored);
+      disk->put(kSolutionDiskSpace, solve_key->canonical, encoded);
+    }
+    options.solution_cache->insert(*solve_key, std::move(stored));
+  }
+
+  stamp_disk(solution.stats);
   solution.stats.total_ms = ms_since(t_solve);
   return solution;
 }

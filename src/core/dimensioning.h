@@ -29,6 +29,11 @@ namespace ttdim::engine::analysis {
 class AnalysisCache;
 }  // namespace ttdim::engine::analysis
 
+namespace ttdim::engine::cache {
+class DiskCache;
+class SolutionCache;
+}  // namespace ttdim::engine::cache
+
 namespace ttdim::core {
 
 /// One application as specified by the system designer.
@@ -103,6 +108,19 @@ struct SolveOptions {
   /// dwell tables) and of the dwell-row search: 1 = serial (default),
   /// 0 = hardware concurrency. Results are independent of this value.
   int analysis_threads = 1;
+  /// Persistent second tier under the memory caches
+  /// (engine/cache/disk_cache.h): analysis results, admission verdicts
+  /// and whole-solve results survive the process, so a restarted daemon
+  /// or a CI run restoring the directory starts warm. nullptr (default)
+  /// disables the tier; the dimensioning result is byte-identical either
+  /// way. The analysis/verdict spaces are consulted only when the
+  /// corresponding memoize_* gate above is on.
+  std::shared_ptr<engine::cache::DiskCache> disk_cache;
+  /// Whole-solve result cache keyed by SolveKey (the full canonical
+  /// input): a hit returns the complete Solution without running any
+  /// pipeline phase. Layered over disk_cache's "solution" space when
+  /// both are set. nullptr (default) disables the tier.
+  std::shared_ptr<engine::cache::SolutionCache> solution_cache;
 
   SolveOptions() {}
 };
@@ -128,6 +146,46 @@ struct Solution {
   /// Slot-count saving of the proposed strategy vs. the better baseline.
   [[nodiscard]] double saving_vs_baseline() const;
 };
+
+/// Content-addressed identity of a whole solve: the canonical
+/// serialization of every AppSpec (in input order — the pipeline is
+/// order-sensitive) plus the result-affecting SolveOptions fields
+/// (settling, granularity, disturbance bound, stability requirement,
+/// policy). Cache/thread toggles are excluded: they never change the
+/// result (pinned by the fingerprint-equality tests), so warm and cold
+/// configurations share solve-result cache entries. This is the
+/// AppAnalysisKey idiom extended to complete specs — the key of the
+/// whole-solve SolutionCache and of the disk tier's "solution" space.
+struct SolveKey {
+  std::string canonical;
+  std::uint64_t hash = 0;
+
+  [[nodiscard]] static SolveKey of(const std::vector<AppSpec>& specs,
+                                   const SolveOptions& options);
+
+  [[nodiscard]] friend bool operator==(const SolveKey& a, const SolveKey& b) {
+    return a.canonical == b.canonical;
+  }
+  [[nodiscard]] friend bool operator!=(const SolveKey& a, const SolveKey& b) {
+    return !(a == b);
+  }
+};
+
+struct SolveKeyHash {
+  [[nodiscard]] std::size_t operator()(const SolveKey& key) const noexcept {
+    return static_cast<std::size_t>(key.hash);
+  }
+};
+
+/// Round-trip binary codec for disk-cached solutions: apps (specs, dwell
+/// tables, timings, stability verdicts) and all three assignments.
+/// SolveStats is measurement, not result — it is excluded from the
+/// encoding (like engine::fingerprint), and a decoded Solution carries
+/// default stats for the caller to fill. decode_solution returns false
+/// on malformed input and never throws.
+void encode_solution(support::codec::Encoder& enc, const Solution& solution);
+[[nodiscard]] bool decode_solution(support::codec::Decoder& dec,
+                                   Solution& solution);
 
 /// Run the full pipeline. Throws std::invalid_argument when a requirement
 /// is unmeetable or (if required) a gain pair lacks switching stability.

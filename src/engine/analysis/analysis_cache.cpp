@@ -17,6 +17,23 @@ void AppAnalysisResult::append_canonical(std::string& out) const {
   }
 }
 
+void encode(support::codec::Encoder& enc, const AppAnalysisResult& result) {
+  control::encode(enc, result.stability);
+  enc.u8(result.tables_computed ? 1 : 0);
+  if (result.tables_computed) switching::encode(enc, result.tables);
+}
+
+bool decode(support::codec::Decoder& dec, AppAnalysisResult& result) {
+  result = AppAnalysisResult{};
+  if (!control::decode(dec, result.stability)) return false;
+  std::uint8_t computed = 0;
+  if (!dec.u8(computed) || computed > 1) return false;
+  result.tables_computed = computed != 0;
+  if (result.tables_computed && !switching::decode(dec, result.tables))
+    return false;
+  return true;
+}
+
 AnalysisCache::AnalysisCache(std::size_t byte_budget)
     : cache_(byte_budget, &AnalysisCache::cost_of) {}
 

@@ -41,6 +41,12 @@ struct AppAnalysisResult {
   void append_canonical(std::string& out) const;
 };
 
+/// Round-trip binary codec for the disk tier (engine/cache/disk_cache.h).
+/// decode returns false on malformed input and never throws.
+void encode(support::codec::Encoder& enc, const AppAnalysisResult& result);
+[[nodiscard]] bool decode(support::codec::Decoder& dec,
+                          AppAnalysisResult& result);
+
 /// Monotonic counters (see engine::cache::LruStats for the lock-free
 /// snapshot semantics).
 struct AnalysisCacheStats {

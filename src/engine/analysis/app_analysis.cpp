@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "control/design.h"
+#include "engine/cache/disk_cache.h"
 #include "engine/oracle/dwell_search.h"
 #include "engine/oracle/solve_stats.h"
 
@@ -14,13 +15,16 @@ namespace {
 using Clock = std::chrono::steady_clock;
 using oracle::ms_since;
 
+constexpr const char* kDiskSpace = "analysis";
+
 }  // namespace
 
 AppAnalysisOutcome analyze_app(const control::DiscreteLti& plant,
                                const linalg::Matrix& kt,
                                const linalg::Matrix& ke,
                                const AppAnalysisSpec& spec,
-                               AnalysisCache* cache, int dwell_threads) {
+                               AnalysisCache* cache, int dwell_threads,
+                               cache::DiskCache* disk) {
   AppAnalysisOutcome out;
   AppAnalysisKey key;
   if (cache != nullptr) {
@@ -29,6 +33,22 @@ AppAnalysisOutcome analyze_app(const control::DiscreteLti& plant,
       out.result = std::move(cached);
       out.cache_hit = true;
       return out;
+    }
+    if (disk != nullptr) {
+      if (const auto blob = disk->get(kDiskSpace, key.canonical)) {
+        support::codec::Decoder dec(*blob);
+        AppAnalysisResult stored;
+        if (decode(dec, stored) && dec.done()) {
+          cache->insert(key, stored);
+          out.result =
+              std::make_shared<const AppAnalysisResult>(std::move(stored));
+          out.cache_hit = true;
+          return out;
+        }
+        // Undecodable payload (e.g. written by a build whose codec
+        // differs without a format bump): fall through to a cold
+        // compute; the entry ages out via the trim.
+      }
     }
   }
 
@@ -48,7 +68,15 @@ AppAnalysisOutcome analyze_app(const control::DiscreteLti& plant,
     out.dwell_ms = ms_since(t_dwell);
   }
 
-  if (cache != nullptr) cache->insert(key, result);
+  if (cache != nullptr) {
+    cache->insert(key, result);
+    if (disk != nullptr) {
+      std::string encoded;
+      support::codec::Encoder enc(encoded);
+      encode(enc, result);
+      disk->put(kDiskSpace, key.canonical, encoded);
+    }
+  }
   out.result = std::make_shared<const AppAnalysisResult>(std::move(result));
   return out;
 }

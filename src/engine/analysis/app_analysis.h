@@ -13,6 +13,10 @@
 #include "engine/analysis/analysis_cache.h"
 #include "engine/analysis/analysis_key.h"
 
+namespace ttdim::engine::cache {
+class DiskCache;
+}  // namespace ttdim::engine::cache
+
 namespace ttdim::engine::analysis {
 
 /// One analysis call's outcome: the (possibly shared) immutable result
@@ -32,11 +36,20 @@ struct AppAnalysisOutcome {
 /// dwell search (malformed spec, requirement below JT) propagate and
 /// nothing is cached — failure paths re-prove, like the verdict cache's
 /// unsafe probes.
+///
+/// `disk`, when non-null (and `cache` is too), is the persistent second
+/// tier: a memory miss consults the disk "analysis" space, and a decoded
+/// entry is promoted into `cache` and reported as a hit (a restarted
+/// process pointed at a warm directory reports zero analysis misses);
+/// fresh computes are written through. A malformed disk entry is a cold
+/// miss. Results stay byte-identical disk tier on/off — disk entries are
+/// exact encodings of previously computed results for the same key.
 [[nodiscard]] AppAnalysisOutcome analyze_app(const control::DiscreteLti& plant,
                                              const linalg::Matrix& kt,
                                              const linalg::Matrix& ke,
                                              const AppAnalysisSpec& spec,
                                              AnalysisCache* cache,
-                                             int dwell_threads = 1);
+                                             int dwell_threads = 1,
+                                             cache::DiskCache* disk = nullptr);
 
 }  // namespace ttdim::engine::analysis

@@ -1,0 +1,33 @@
+#include "engine/cache/solution_cache.h"
+
+namespace ttdim::engine::cache {
+
+SolutionCache::SolutionCache(std::size_t byte_budget)
+    : cache_(byte_budget, &SolutionCache::cost_of) {}
+
+std::size_t SolutionCache::cost_of(const core::SolveKey& key,
+                                   const core::Solution& solution) {
+  // The encoded form tracks the resident payload closely (same vectors,
+  // same matrices) and is cheap to produce next to a solve; + fixed
+  // bookkeeping overhead per entry.
+  std::string encoded;
+  support::codec::Encoder enc(encoded);
+  core::encode_solution(enc, solution);
+  return encoded.size() + key.canonical.size() + 256;
+}
+
+std::shared_ptr<const core::Solution> SolutionCache::lookup(
+    const core::SolveKey& key) {
+  return cache_.lookup(key);
+}
+
+void SolutionCache::insert(const core::SolveKey& key,
+                           core::Solution solution) {
+  cache_.insert(key, std::move(solution));
+}
+
+LruStats SolutionCache::stats() const { return cache_.stats(); }
+
+void SolutionCache::clear() { cache_.clear(); }
+
+}  // namespace ttdim::engine::cache

@@ -1,0 +1,51 @@
+// Whole-solve result cache: core::SolveKey (the canonical full-spec
+// input serialization) -> complete core::Solution. This is the serving
+// tier the ROADMAP's daemon arc calls for — a request whose specs and
+// result-affecting options match a previous solve is answered without
+// running any pipeline phase — and the memory half of the restart-warm
+// path: core::solve layers it over the DiskCache "solution" space, so a
+// fresh process answers repeat requests from disk on the first call.
+//
+// One more LruCache instantiation, same sharing idiom as the other
+// caches: private per solve when constructed ad hoc, or shared across a
+// batch/serve process via SolveOptions::solution_cache. Stored Solutions
+// carry zeroed SolveStats (stats are per-request measurement, not
+// result); solve() stamps fresh ones onto every hit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/dimensioning.h"
+#include "engine/cache/lru_cache.h"
+
+namespace ttdim::engine::cache {
+
+class SolutionCache {
+ public:
+  /// Solutions are tens of kilobytes (dwell tables + per-sample
+  /// timings); 64 MiB keeps thousands of distinct workloads resident.
+  static constexpr std::size_t kDefaultByteBudget = 64u << 20;
+
+  explicit SolutionCache(std::size_t byte_budget = kDefaultByteBudget);
+
+  /// Returns the cached solution and refreshes its recency; nullptr on
+  /// miss.
+  [[nodiscard]] std::shared_ptr<const core::Solution> lookup(
+      const core::SolveKey& key);
+
+  /// Inserts (no-op when present — solutions for one key are
+  /// interchangeable), evicting LRU entries until the byte budget holds.
+  void insert(const core::SolveKey& key, core::Solution solution);
+
+  [[nodiscard]] LruStats stats() const;
+  void clear();
+
+ private:
+  static std::size_t cost_of(const core::SolveKey& key,
+                             const core::Solution& solution);
+
+  LruCache<core::SolveKey, core::Solution, core::SolveKeyHash> cache_;
+};
+
+}  // namespace ttdim::engine::cache

@@ -15,6 +15,8 @@
 #include "casestudy/apps.h"
 #include "core/dimensioning.h"
 #include "engine/analysis/analysis_cache.h"
+#include "engine/cache/disk_cache.h"
+#include "engine/cache/solution_cache.h"
 #include "engine/fingerprint.h"
 #include "engine/oracle/incremental_oracle.h"
 #include "engine/oracle/snapshot_cache.h"
@@ -373,6 +375,12 @@ struct FamilyCaches {
       std::make_shared<oracle::SnapshotCache>();
   std::shared_ptr<analysis::AnalysisCache> analysis =
       std::make_shared<analysis::AnalysisCache>();
+  /// Whole-solve result memoization for the solve cross-check's fourth
+  /// variant (its hit must fingerprint-match a from-scratch solve).
+  std::shared_ptr<cache::SolutionCache> solutions =
+      std::make_shared<cache::SolutionCache>();
+  /// Persistent tier; null unless the campaign configured a directory.
+  std::shared_ptr<cache::DiskCache> disk;
 };
 
 void aggregate_tiers(const oracle::IncrementalAdmissionOracle& o,
@@ -383,6 +391,7 @@ void aggregate_tiers(const oracle::IncrementalAdmissionOracle& o,
   report.subsumption_cuts += o.subsumption_cuts();
   report.prefix_hits += o.prefix_hits();
   report.fresh_proofs += o.misses() - o.prefix_hits();
+  report.disk_hits += o.disk_hits();
 }
 
 void run_iteration(long it, const FuzzConfig& config, FamilyCaches& family,
@@ -417,7 +426,17 @@ void run_iteration(long it, const FuzzConfig& config, FamilyCaches& family,
       vopt, std::make_shared<oracle::VerdictCache>(),
       std::make_shared<oracle::SnapshotCache>(), true));
   oracles.push_back(std::make_unique<oracle::IncrementalAdmissionOracle>(
-      vopt, family.verdicts, family.snapshots, true));
+      vopt, family.verdicts, family.snapshots, true, family.disk));
+  const std::size_t family_idx = oracles.size() - 1;
+  // Disk-backed configuration: fresh memory caches over the campaign
+  // directory, walked after the family config has written this walk's
+  // proofs through — every probe it can answer from disk is a persisted
+  // verdict cross-checked against the live trajectory via the assignment
+  // comparison below.
+  if (family.disk != nullptr)
+    oracles.push_back(std::make_unique<oracle::IncrementalAdmissionOracle>(
+        vopt, std::make_shared<oracle::VerdictCache>(),
+        std::make_shared<oracle::SnapshotCache>(), true, family.disk));
 
   const std::vector<int> order = mapping::paper_sort_order(apps);
   std::vector<mapping::SlotAssignment> assignments;
@@ -425,7 +444,7 @@ void run_iteration(long it, const FuzzConfig& config, FamilyCaches& family,
   bool aborted = false;
   for (std::size_t c = 0; c < oracles.size() && !aborted; ++c) {
     oracle::IncrementalAdmissionOracle& oc = *oracles[c];
-    const bool record = c + 1 == oracles.size();
+    const bool record = c == family_idx;
     const mapping::SlotOracle probe = [&, record](const Population& pop) {
       bool safe = oc.admit(pop);
       if (config.inject_unsound && !safe && pop.size() >= 2) safe = true;
@@ -458,7 +477,7 @@ void run_iteration(long it, const FuzzConfig& config, FamilyCaches& family,
   // Claims for all post-walk checks come from the family-shared oracle —
   // its caches hold the walk's proofs, so these probes deterministically
   // land in the exact / subsumption tiers.
-  oracle::IncrementalAdmissionOracle& shared_oracle = *oracles.back();
+  oracle::IncrementalAdmissionOracle& shared_oracle = *oracles[family_idx];
   const ClaimFn claim_fn = [&](const Population& pop) {
     bool safe = shared_oracle.admit(pop);
     if (config.inject_unsound && !safe && pop.size() >= 2) safe = true;
@@ -606,7 +625,17 @@ void run_solve_check(long it, const FuzzConfig& config, FamilyCaches& family,
     o.verdict_cache = family.verdicts;
     o.snapshot_cache = family.snapshots;
     o.analysis_threads = 0;
+    o.disk_cache = family.disk;  // null = tier off, same as elsewhere
     variants.emplace_back("tiers-shared-parallel", o);
+  }
+  {
+    // Whole-solve result tier: the first run with these specs stores, a
+    // recurring spec tuple is served from the memoized Solution — either
+    // way the fingerprint must equal the reference's.
+    core::SolveOptions o = base;
+    o.solution_cache = family.solutions;
+    o.disk_cache = family.disk;
+    variants.emplace_back("solution-cache", o);
   }
 
   ++report.solve_checks;
@@ -727,6 +756,7 @@ std::vector<std::string> FuzzReport::missing_coverage() const {
   };
   for (const auto& [name, count] : tiers)
     if (count == 0) missing.push_back(std::string("tier:") + name);
+  if (disk_enabled && disk_hits == 0) missing.push_back("tier:disk");
   std::vector<std::string> kinds;
   for (const ScenarioKind kind : kAllScenarioKinds)
     kinds.emplace_back(scenario_kind_name(kind));
@@ -754,6 +784,7 @@ std::string FuzzReport::to_string() const {
   out << "tier subsumption_cut " << subsumption_cuts << "\n";
   out << "tier prefix " << prefix_hits << "\n";
   out << "tier fresh " << fresh_proofs << "\n";
+  if (disk_enabled) out << "tier disk " << disk_hits << "\n";
   for (const auto& [kind, count] : scenario_kind_counts)
     out << "kind " << kind << " " << count << "\n";
   out << "disagreements " << disagreements << "\n";
@@ -771,6 +802,10 @@ FuzzReport run_soundness_fuzz(const FuzzConfig& config) {
   FuzzReport report;
   report.seed = config.seed;
   FamilyCaches family;
+  if (!config.disk_cache_dir.empty()) {
+    family.disk = std::make_shared<cache::DiskCache>(config.disk_cache_dir);
+    report.disk_enabled = true;
+  }
   const auto start = std::chrono::steady_clock::now();
   for (long it = 0; it < config.iterations; ++it) {
     if (config.max_seconds > 0) {
@@ -789,6 +824,11 @@ FuzzReport run_soundness_fuzz(const FuzzConfig& config) {
 }
 
 ReplayResult replay(const Artifact& artifact) {
+  return replay(artifact, nullptr);
+}
+
+ReplayResult replay(const Artifact& artifact,
+                    const std::shared_ptr<engine::cache::DiskCache>& disk) {
   ReplayResult result;
   verify::DiscreteVerifier::Options opt;
   opt.policy = artifact.policy;
@@ -799,6 +839,25 @@ ReplayResult replay(const Artifact& artifact) {
   if (!fresh) {
     result.message = "state budget exhausted re-verifying the claim";
     return result;
+  }
+  if (disk != nullptr) {
+    // Disk-backed oracle cross-check: an entry a prior process persisted
+    // for this population must agree with the fresh proof above; a miss
+    // writes the proof (warming the directory for a following campaign).
+    const oracle::IncrementalAdmissionOracle via_disk(
+        opt, std::make_shared<oracle::VerdictCache>(),
+        std::make_shared<oracle::SnapshotCache>(), true, disk);
+    try {
+      if (via_disk.admit(artifact.apps) != fresh->safe) {
+        result.message =
+            std::string("disk-tier verdict mismatch: fresh verifier says ") +
+            (fresh->safe ? "safe" : "unsafe") +
+            ", disk-backed oracle disagrees";
+        return result;
+      }
+    } catch (const std::runtime_error&) {
+      // State budget through the oracle path: inconclusive, not a failure.
+    }
   }
   if (fresh->safe != artifact.claimed_safe) {
     result.message = std::string("claim mismatch: artifact claims ") +

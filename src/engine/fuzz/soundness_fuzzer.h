@@ -10,8 +10,10 @@
 //      verdict-affecting verifier options (policy, disturbance bound);
 //   2. runs the first-fit mapping under four admission-oracle
 //      configurations (reference / exact-only / full-private /
-//      full-shared — the SolveOptions-toggle matrix at mapping level) and
-//      requires identical slot assignments;
+//      full-shared — the SolveOptions-toggle matrix at mapping level),
+//      plus a fifth, fresh-memory configuration over the persistent disk
+//      tier when a cache directory is configured, and requires identical
+//      slot assignments;
 //   3. re-verifies every admitted slot population with a fresh BFS and
 //      simulates it against every ScenarioGenerator kind plus a max-rate
 //      hyperperiod sweep — an admitted population must never miss a
@@ -35,10 +37,15 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "engine/fuzz/artifact.h"
+
+namespace ttdim::engine::cache {
+class DiskCache;
+}  // namespace ttdim::engine::cache
 
 namespace ttdim::engine::fuzz {
 
@@ -59,6 +66,15 @@ struct FuzzConfig {
   long solve_every = 0;
   /// Where shrunk counterexamples are serialized; empty = don't write.
   std::string artifacts_dir;
+  /// Directory for a campaign-shared persistent DiskCache; empty = no disk
+  /// tier. When set, the family-shared oracle configuration writes every
+  /// proof through to disk and a fifth, fresh-memory oracle configuration
+  /// re-answers the whole walk from the disk tier — its slot assignments
+  /// must match the reference byte for byte, and every disk-served verdict
+  /// is thereby cross-checked against a live proof trajectory. Report
+  /// determinism holds for a fresh (empty) directory; a pre-warmed
+  /// directory shifts tier counts but never assignments.
+  std::string disk_cache_dir;
   /// Test-only hook (the acceptance path of the harness itself): flips
   /// every unsafe admission answer of populations with >= 2 members to
   /// "safe" *outside* the oracle, emulating an unsound verdict tier. The
@@ -88,6 +104,11 @@ struct FuzzReport {
   long subsumption_cuts = 0;
   long prefix_hits = 0;
   long fresh_proofs = 0;
+  /// Exact hits answered from the persistent tier (a subset of
+  /// exact_hits). Only meaningful — and only reported / coverage-checked —
+  /// when the campaign ran with a disk cache directory.
+  long disk_hits = 0;
+  bool disk_enabled = false;
 
   /// Simulated scenarios by kind name (the seven ScenarioGenerator kinds
   /// plus "hyperperiod" and "witness").
@@ -125,6 +146,16 @@ struct ReplayResult {
   std::string message;  ///< human-readable verdict, one line
 };
 [[nodiscard]] ReplayResult replay(const Artifact& artifact);
+
+/// Replay with a disk-backed oracle cross-check: in addition to the plain
+/// replay() verdict, the population is admitted through a fresh-memory
+/// oracle layered over `disk` and the answer must match the fresh proof.
+/// On a disk miss this *writes* the proof, so replaying the seed corpus
+/// against a directory both validates any pre-existing entries and warms
+/// the directory for a following campaign. A null `disk` is plain replay().
+[[nodiscard]] ReplayResult replay(
+    const Artifact& artifact,
+    const std::shared_ptr<engine::cache::DiskCache>& disk);
 
 /// Translate a structured verifier witness into a runtime scenario with
 /// forced grants (the construction of tests/replay_test.cpp, shared so

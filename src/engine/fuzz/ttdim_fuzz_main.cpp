@@ -3,8 +3,9 @@
 //
 //   ttdim_fuzz [--seed N] [--iterations N] [--max-seconds S] [--max-apps N]
 //              [--solve-every N] [--artifacts-out DIR] [--report-out FILE]
-//              [--require-full-coverage] [--inject-unsound]
-//   ttdim_fuzz --replay FILE | --replay-dir DIR
+//              [--disk-cache DIR] [--require-full-coverage]
+//              [--inject-unsound]
+//   ttdim_fuzz [--disk-cache DIR] --replay FILE | --replay-dir DIR
 //   ttdim_fuzz --mint-corpus DIR
 //   ttdim_fuzz --self-check
 //
@@ -14,10 +15,12 @@
 // trajectory (--max-seconds), they never reorder it.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "engine/cache/disk_cache.h"
 #include "engine/fuzz/artifact.h"
 #include "engine/fuzz/soundness_fuzzer.h"
 
@@ -37,6 +40,11 @@ int usage(const char* argv0) {
       << "  --solve-every N          full core::solve cross-check every "
          "N iterations\n"
       << "  --artifacts-out DIR      serialize shrunk counterexamples\n"
+      << "  --disk-cache DIR         persistent cache directory: campaigns "
+         "add a disk-backed\n"
+      << "                           oracle configuration, replays "
+         "cross-check disk verdicts\n"
+      << "                           against fresh proofs\n"
       << "  --report-out FILE        also write the report to FILE\n"
       << "  --require-full-coverage  fail if any oracle tier or scenario "
          "kind stayed unexercised\n"
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
         config.solve_every = std::stol(value(i));
       else if (arg == "--artifacts-out")
         config.artifacts_dir = value(i);
+      else if (arg == "--disk-cache")
+        config.disk_cache_dir = value(i);
       else if (arg == "--report-out")
         report_out = value(i);
       else if (arg == "--require-full-coverage")
@@ -122,10 +132,14 @@ int main(int argc, char** argv) {
         std::cerr << argv[0] << ": no artifacts to replay\n";
         return 2;
       }
+      std::shared_ptr<ttdim::engine::cache::DiskCache> disk;
+      if (!config.disk_cache_dir.empty())
+        disk = std::make_shared<ttdim::engine::cache::DiskCache>(
+            config.disk_cache_dir);
       int red = 0;
       for (const std::string& path : paths) {
         const fuzz::ReplayResult verdict =
-            fuzz::replay(fuzz::load_artifact(path));
+            fuzz::replay(fuzz::load_artifact(path), disk);
         std::cout << (verdict.ok ? "green " : "RED   ") << path << ": "
                   << verdict.message << "\n";
         if (!verdict.ok) ++red;

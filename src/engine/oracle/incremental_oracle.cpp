@@ -1,19 +1,67 @@
 #include "engine/oracle/incremental_oracle.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "engine/cache/disk_cache.h"
+#include "support/codec.h"
+
 namespace ttdim::engine::oracle {
+
+namespace {
+
+constexpr const char* kDiskSpace = "verdict";
+
+// Disk payload: a 1-byte tag, then for safe verdicts the full structure
+// (a disk hit must be indistinguishable from the proof that was stored).
+// Unsafe verdicts store the tag alone: their details (violator, state
+// count) depend on the query that found them — the same reason the
+// memory VerdictCache never holds them — so only the admission boolean,
+// which IS invariant, persists.
+std::string encode_disk_verdict(const verify::SlotVerdict& verdict) {
+  std::string out;
+  support::codec::Encoder enc(out);
+  if (verdict.safe) {
+    enc.u8(1);
+    verify::encode(enc, verdict);
+  } else {
+    enc.u8(0);
+  }
+  return out;
+}
+
+std::optional<verify::SlotVerdict> decode_disk_verdict(
+    const std::string& blob) {
+  support::codec::Decoder dec(blob);
+  std::uint8_t tag = 0;
+  if (!dec.u8(tag) || tag > 1) return std::nullopt;
+  verify::SlotVerdict verdict;
+  if (tag == 1) {
+    if (!verify::decode(dec, verdict) || !dec.done() || !verdict.safe)
+      return std::nullopt;
+  } else {
+    if (!dec.done()) return std::nullopt;
+    verdict.safe = false;
+  }
+  return verdict;
+}
+
+}  // namespace
 
 IncrementalAdmissionOracle::IncrementalAdmissionOracle(
     verify::DiscreteVerifier::Options options,
     std::shared_ptr<VerdictCache> verdicts,
-    std::shared_ptr<SnapshotCache> snapshots, bool subsumption)
+    std::shared_ptr<SnapshotCache> snapshots, bool subsumption,
+    std::shared_ptr<cache::DiskCache> disk)
     : options_(options),
       verdicts_(std::move(verdicts)),
       snapshots_(std::move(snapshots)),
-      subsumption_(subsumption && verdicts_ != nullptr) {}
+      subsumption_(subsumption && verdicts_ != nullptr),
+      // The disk tier re-enters answers through the memory verdict store
+      // (insert + subsumption notes), so it requires one.
+      disk_(verdicts_ != nullptr ? std::move(disk) : nullptr) {}
 
 verify::SlotVerdict IncrementalAdmissionOracle::verify(
     const std::vector<verify::AppTiming>& slot_apps) const {
@@ -41,6 +89,29 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
     if (std::optional<verify::SlotVerdict> cached = verdicts_->lookup(key)) {
       exact_hits_.fetch_add(1, std::memory_order_relaxed);
       return *std::move(cached);
+    }
+  }
+
+  // ---- Tier 1.5: persistent exact hit. ----------------------------------
+  // A prior process proved this exact population: decode its verdict and
+  // re-enter it through the memory tiers exactly as the original proof
+  // did — note-then-insert for safe, note only for unsafe — so the rest
+  // of this solve behaves as if the proof had happened here. A malformed
+  // payload falls through to a cold proof (the entry ages out via trim).
+  if (disk_ != nullptr) {
+    if (const auto blob = disk_->get(kDiskSpace, key.canonical)) {
+      if (std::optional<verify::SlotVerdict> stored =
+              decode_disk_verdict(*blob)) {
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        exact_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (stored->safe) {
+          if (subsumption_) verdicts_->subsumption().note_safe(key, tokens);
+          verdicts_->insert(key, *stored);
+        } else if (subsumption_) {
+          verdicts_->subsumption().note_unsafe(key, tokens);
+        }
+        return *std::move(stored);
+      }
     }
   }
 
@@ -92,6 +163,10 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
         // run for a key the index has not seen yet.
         if (subsumption_) verdicts_->subsumption().note_safe(key, tokens);
         if (verdicts_ != nullptr) verdicts_->insert(key, verdict);
+        // A full-population snapshot answer is a real proof's verdict
+        // (count of its reachable set), so it persists like one.
+        if (disk_ != nullptr)
+          disk_->put(kDiskSpace, key.canonical, encode_disk_verdict(verdict));
         return verdict;
       }
       break;
@@ -126,6 +201,8 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
         // only), so the population is genuinely unsafe: record it for
         // the subsumption tier — its supersets are unsafe too.
         if (subsumption_) verdicts_->subsumption().note_unsafe(key, tokens);
+        if (disk_ != nullptr)
+          disk_->put(kDiskSpace, key.canonical, encode_disk_verdict(dive));
         return dive;
       }
       // Safe within the dive budget: the reachable set is small, but the
@@ -172,6 +249,8 @@ verify::SlotVerdict IncrementalAdmissionOracle::verify(
   } else if (subsumption_) {
     verdicts_->subsumption().note_unsafe(key, tokens);
   }
+  if (disk_ != nullptr)
+    disk_->put(kDiskSpace, key.canonical, encode_disk_verdict(verdict));
   return verdict;
 }
 

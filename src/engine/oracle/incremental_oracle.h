@@ -44,6 +44,10 @@
 #include "mapping/first_fit.h"
 #include "verify/discrete.h"
 
+namespace ttdim::engine::cache {
+class DiskCache;
+}  // namespace ttdim::engine::cache
+
 namespace ttdim::engine::oracle {
 
 class IncrementalAdmissionOracle {
@@ -57,10 +61,22 @@ class IncrementalAdmissionOracle {
   /// and is shared exactly as far as the verdict cache is; disabled (or
   /// with no verdict store) the oracle reproduces the PR-3 three-tier
   /// behaviour, including never touching the index.
+  ///
+  /// `disk`, when non-null (and `verdicts` is too), adds a persistent
+  /// tier between the exact hit and subsumption: a memory miss consults
+  /// the disk "verdict" space, and a decoded entry re-enters the memory
+  /// tiers exactly as the original proof did (safe verdicts are inserted
+  /// and noted, unsafe ones only noted — the memory cache's safe-only
+  /// invariant holds) before being returned as an exact hit. Every real
+  /// proof is written through (safe verdicts in full, unsafe ones as a
+  /// bare marker, since their details are query-order-dependent);
+  /// tier-2 synthesized answers are not — the population that answered
+  /// them is already stored. Results stay byte-identical tier on/off.
   IncrementalAdmissionOracle(verify::DiscreteVerifier::Options options,
                              std::shared_ptr<VerdictCache> verdicts,
                              std::shared_ptr<SnapshotCache> snapshots,
-                             bool subsumption = true);
+                             bool subsumption = true,
+                             std::shared_ptr<cache::DiskCache> disk = nullptr);
 
   /// Full verdict for one slot population. Witness queries
   /// (options.want_witness) and depth-first traversals bypass both caches
@@ -92,8 +108,13 @@ class IncrementalAdmissionOracle {
   // Counters for this oracle instance (shared caches aggregate their own
   // stats across instances; these stay per-solve).
   [[nodiscard]] long calls() const noexcept { return calls_.load(); }
-  /// Tier-1 answers served from the VerdictCache.
+  /// Tier-1 answers served from the VerdictCache. Disk-tier answers
+  /// count here too (they re-enter through the same exact-key door), so
+  /// the identity calls = exact + subsumption hits/cuts + misses holds
+  /// with the disk tier on; disk_hits() splits them out.
   [[nodiscard]] long exact_hits() const noexcept { return exact_hits_.load(); }
+  /// The subset of exact_hits answered from the disk tier.
+  [[nodiscard]] long disk_hits() const noexcept { return disk_hits_.load(); }
   /// Tier-2 safe answers: probe included in a proven-safe population.
   [[nodiscard]] long subsumption_hits() const noexcept {
     return subsumption_hits_.load();
@@ -127,8 +148,10 @@ class IncrementalAdmissionOracle {
   std::shared_ptr<VerdictCache> verdicts_;
   std::shared_ptr<SnapshotCache> snapshots_;
   bool subsumption_;
+  std::shared_ptr<cache::DiskCache> disk_;
   mutable std::atomic<long> calls_{0};
   mutable std::atomic<long> exact_hits_{0};
+  mutable std::atomic<long> disk_hits_{0};
   mutable std::atomic<long> subsumption_hits_{0};
   mutable std::atomic<long> subsumption_cuts_{0};
   mutable std::atomic<long> misses_{0};

@@ -6,18 +6,21 @@
 namespace ttdim::engine::oracle {
 
 std::string SolveStats::summary() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "total %.1f ms (analysis %.1f [cold: stability %.1f, dwell %.1f], "
       "mapping %.1f, baseline %.1f) | analysis cache %ld hits, %ld misses, "
       "%ld evictions | oracle %ld calls, %ld hits, %ld misses, %ld states | "
       "subsumption %ld hits, %ld cuts | prefix %ld hits, %ld reused, "
-      "%ld extended",
+      "%ld extended | disk %ld hits, %ld misses, %ld writes, %ld trims | "
+      "solution %ld hits, %ld misses",
       total_ms, analysis_ms, stability_ms, dwell_ms, mapping_ms, baseline_ms,
       analysis_hits, analysis_misses, analysis_evictions, oracle_calls,
       cache_hits, cache_misses, verifier_states, subsumption_hits,
-      subsumption_cuts, prefix_hits, states_reused, states_extended);
+      subsumption_cuts, prefix_hits, states_reused, states_extended,
+      disk_hits, disk_misses, disk_writes, disk_trims, solution_hits,
+      solution_misses);
   return buf;
 }
 
@@ -41,6 +44,12 @@ SolveStats operator+(const SolveStats& a, const SolveStats& b) {
   out.analysis_hits = a.analysis_hits + b.analysis_hits;
   out.analysis_misses = a.analysis_misses + b.analysis_misses;
   out.analysis_evictions = a.analysis_evictions + b.analysis_evictions;
+  out.disk_hits = a.disk_hits + b.disk_hits;
+  out.disk_misses = a.disk_misses + b.disk_misses;
+  out.disk_writes = a.disk_writes + b.disk_writes;
+  out.disk_trims = a.disk_trims + b.disk_trims;
+  out.solution_hits = a.solution_hits + b.solution_hits;
+  out.solution_misses = a.solution_misses + b.solution_misses;
   out.analysis_threads = std::max(a.analysis_threads, b.analysis_threads);
   return out;
 }

@@ -64,6 +64,24 @@ struct SolveStats {
   long analysis_misses = 0;
   long analysis_evictions = 0;
 
+  // Disk-tier counters (engine/cache/disk_cache.h): the delta of the
+  // shared DiskCache's monotonic counters observed across this solve —
+  // approximate when the directory is shared with concurrent jobs,
+  // exact otherwise. disk_hits spans all three spaces (analysis,
+  // verdict, solution); a disk analysis/verdict hit ALSO counts in the
+  // corresponding memory-tier hit counter above, because the disk tier
+  // answers by populating the memory tier.
+  long disk_hits = 0;
+  long disk_misses = 0;
+  long disk_writes = 0;
+  long disk_trims = 0;
+
+  // Whole-solve result cache (engine/cache/solution_cache.h): 1/0 per
+  // solve — a hit short-circuits the entire pipeline, so every other
+  // counter in this struct is zero on a solution hit.
+  long solution_hits = 0;
+  long solution_misses = 0;
+
   int analysis_threads = 1;   ///< thread budget of the per-app phase
 
   /// One-line human-readable form for benches and logs.

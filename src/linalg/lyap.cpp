@@ -350,4 +350,18 @@ std::size_t byte_cost(const CommonLyapunov& c) {
   return sizeof(CommonLyapunov) - sizeof(Matrix) + byte_cost(c.p);
 }
 
+void encode(support::codec::Encoder& enc, const CommonLyapunov& c) {
+  enc.u8(c.found ? 1 : 0);
+  encode(enc, c.p);
+}
+
+bool decode(support::codec::Decoder& dec, CommonLyapunov& c) {
+  c = CommonLyapunov{};
+  std::uint8_t found = 0;
+  if (!dec.u8(found) || found > 1) return false;
+  if (!decode(dec, c.p)) return false;
+  c.found = found != 0;
+  return true;
+}
+
 }  // namespace ttdim::linalg

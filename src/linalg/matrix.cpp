@@ -283,4 +283,31 @@ std::size_t byte_cost(const Matrix& m) {
   return sizeof(Matrix) + static_cast<std::size_t>(m.size()) * sizeof(double);
 }
 
+void encode(support::codec::Encoder& enc, const Matrix& m) {
+  enc.u32(static_cast<std::uint32_t>(m.rows()));
+  enc.u32(static_cast<std::uint32_t>(m.cols()));
+  for (double entry : m.data()) enc.f64(entry);
+}
+
+bool decode(support::codec::Decoder& dec, Matrix& m) {
+  m = Matrix{};
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  if (!dec.u32(rows) || !dec.u32(cols)) return false;
+  // Plants are at most a few states; 1024 is absurdly generous, and the
+  // remaining-bytes check stops a corrupt header from driving a large
+  // allocation before the entry checksum would have caught it.
+  constexpr std::uint32_t kMaxDim = 1024;
+  if (rows > kMaxDim || cols > kMaxDim) return false;
+  const std::size_t entries =
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  if (entries * sizeof(double) > dec.remaining()) return false;
+  Matrix out(static_cast<Index>(rows), static_cast<Index>(cols));
+  for (Index r = 0; r < out.rows(); ++r)
+    for (Index c = 0; c < out.cols(); ++c)
+      if (!dec.f64(out(r, c))) return false;
+  m = std::move(out);
+  return true;
+}
+
 }  // namespace ttdim::linalg

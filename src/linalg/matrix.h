@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "support/codec.h"
+
 namespace ttdim::linalg {
 
 /// Index type used throughout the library. Signed, per ES.100/ES.102 advice
@@ -144,6 +146,14 @@ void append_canonical_bits(std::string& out, const Matrix& m);
 /// Resident size in bytes (object header + heap payload) — byte-budget
 /// accounting for caches holding matrices.
 [[nodiscard]] std::size_t byte_cost(const Matrix& m);
+
+/// Round-trip binary codec for the disk cache tier: dimensions plus the
+/// IEEE-754 bit pattern of every entry (same identity as
+/// append_canonical_bits, but decodable). decode returns false — leaving
+/// `m` empty — on truncated input or implausible dimensions; it never
+/// throws, because disk entries are untrusted.
+void encode(support::codec::Encoder& enc, const Matrix& m);
+[[nodiscard]] bool decode(support::codec::Decoder& dec, Matrix& m);
 
 /// Kronecker product a (x) b.
 [[nodiscard]] Matrix kron(const Matrix& a, const Matrix& b);

@@ -99,6 +99,26 @@ std::size_t byte_cost(const DwellTables& tables) {
   return sizeof(DwellTables) + entries * sizeof(int);
 }
 
+void encode(support::codec::Encoder& enc, const DwellTables& tables) {
+  enc.i32(tables.t_star_w);
+  enc.i32(tables.settling_tt);
+  enc.i32(tables.settling_et);
+  enc.i32(tables.tw_granularity);
+  enc.ints(tables.t_minus);
+  enc.ints(tables.t_plus);
+  enc.ints(tables.settling_at_minus);
+  enc.ints(tables.settling_at_plus);
+}
+
+bool decode(support::codec::Decoder& dec, DwellTables& tables) {
+  tables = DwellTables{};
+  return dec.i32(tables.t_star_w) && dec.i32(tables.settling_tt) &&
+         dec.i32(tables.settling_et) && dec.i32(tables.tw_granularity) &&
+         dec.ints(tables.t_minus) && dec.ints(tables.t_plus) &&
+         dec.ints(tables.settling_at_minus) &&
+         dec.ints(tables.settling_at_plus);
+}
+
 const std::optional<int>& SettlingMap::at(int wait, int dwell) const {
   TTDIM_EXPECTS(wait >= 0 && wait < wait_count);
   TTDIM_EXPECTS(dwell >= 0 && dwell < dwell_count);

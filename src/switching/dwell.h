@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "control/sim.h"
+#include "support/codec.h"
 
 namespace ttdim::switching {
 
@@ -65,6 +66,11 @@ struct DwellTables {
 void append_canonical(std::string& out, const DwellAnalysisSpec& spec);
 void append_canonical(std::string& out, const DwellTables& tables);
 [[nodiscard]] std::size_t byte_cost(const DwellTables& tables);
+
+/// Round-trip binary codec for disk-cached dwell tables. decode returns
+/// false on malformed input and never throws.
+void encode(support::codec::Encoder& enc, const DwellTables& tables);
+[[nodiscard]] bool decode(support::codec::Decoder& dec, DwellTables& tables);
 
 /// The settling map J(Tw, Tdw) used by Fig. 3: settling time in samples for
 /// every (wait, dwell) pair in the given ranges; nullopt when the pattern

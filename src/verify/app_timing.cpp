@@ -60,4 +60,19 @@ AppTiming make_app_timing(const std::string& name,
   return t;
 }
 
+void encode(support::codec::Encoder& enc, const AppTiming& timing) {
+  enc.str(timing.name);
+  enc.i32(timing.t_star_w);
+  enc.ints(timing.t_minus);
+  enc.ints(timing.t_plus);
+  enc.i32(timing.min_interarrival);
+}
+
+bool decode(support::codec::Decoder& dec, AppTiming& timing) {
+  timing = AppTiming{};
+  return dec.str(timing.name) && dec.i32(timing.t_star_w) &&
+         dec.ints(timing.t_minus) && dec.ints(timing.t_plus) &&
+         dec.i32(timing.min_interarrival);
+}
+
 }  // namespace ttdim::verify

@@ -37,4 +37,10 @@ struct AppTiming {
                                         const switching::DwellTables& tables,
                                         int min_interarrival);
 
+/// Round-trip binary codec for disk-cached solutions. decode returns
+/// false on malformed input and never throws (it does NOT run validate()
+/// — structural well-formedness only; callers revalidate if they care).
+void encode(support::codec::Encoder& enc, const AppTiming& timing);
+[[nodiscard]] bool decode(support::codec::Decoder& dec, AppTiming& timing);
+
 }  // namespace ttdim::verify

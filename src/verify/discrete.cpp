@@ -585,4 +585,38 @@ SlotVerdict DiscreteVerifier::verify(const Options& options,
   return run_search<PackedShape<48>>(apps_, options, extend_from, capture);
 }
 
+void encode(support::codec::Encoder& enc, const SlotVerdict& verdict) {
+  enc.u8(verdict.safe ? 1 : 0);
+  enc.i64(verdict.states_explored);
+  enc.u32(static_cast<std::uint32_t>(verdict.witness.size()));
+  for (const std::string& line : verdict.witness) enc.str(line);
+  enc.u32(static_cast<std::uint32_t>(verdict.witness_ticks.size()));
+  for (const WitnessTick& tick : verdict.witness_ticks) {
+    enc.ints(tick.disturbed);
+    enc.i32(tick.granted);
+  }
+  enc.i32(verdict.violator);
+}
+
+bool decode(support::codec::Decoder& dec, SlotVerdict& verdict) {
+  verdict = SlotVerdict{};
+  std::uint8_t safe = 0;
+  if (!dec.u8(safe) || safe > 1) return false;
+  verdict.safe = safe != 0;
+  std::int64_t states = 0;
+  if (!dec.i64(states)) return false;
+  verdict.states_explored = static_cast<long>(states);
+  std::uint32_t nwitness = 0;
+  if (!dec.u32(nwitness) || nwitness > dec.remaining() / 4) return false;
+  verdict.witness.resize(nwitness);
+  for (std::string& line : verdict.witness)
+    if (!dec.str(line)) return false;
+  std::uint32_t nticks = 0;
+  if (!dec.u32(nticks) || nticks > dec.remaining() / 8) return false;
+  verdict.witness_ticks.resize(nticks);
+  for (WitnessTick& tick : verdict.witness_ticks)
+    if (!dec.ints(tick.disturbed) || !dec.i32(tick.granted)) return false;
+  return dec.i32(verdict.violator);
+}
+
 }  // namespace ttdim::verify

@@ -69,6 +69,13 @@ struct SlotVerdict {
   return !(a == b);
 }
 
+/// Round-trip binary codec for disk-cached verdicts (full structure
+/// including witness text and ticks, so a disk hit is indistinguishable
+/// from the verdict that was stored). decode returns false on malformed
+/// input and never throws.
+void encode(support::codec::Encoder& enc, const SlotVerdict& verdict);
+[[nodiscard]] bool decode(support::codec::Decoder& dec, SlotVerdict& verdict);
+
 /// Snapshot of a *completed* safe exploration: every reachable pre-tick
 /// state, packed 3 bytes per application, one record per state in BFS
 /// discovery order (the first record is always the all-steady initial
