@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""clang-tidy ratchet: run the curated .clang-tidy checks over src/ and
+fail on any finding not already recorded in bench/TIDY_baseline.json.
+
+The baseline maps "relative/path.cpp:check-name" -> count. It is
+committed EMPTY: the gate is zero-warning, and the ratchet shape exists
+so that (a) a future unavoidable finding can be grandfathered explicitly
+rather than by turning the check off for everyone, and (b) the failure
+mode is "you added finding X at Y" instead of a wall of tidy output.
+
+Usage:
+    scripts/run_clang_tidy.py [-p build] [--update-baseline]
+
+Needs a compile_commands.json in the build dir (the root CMakeLists sets
+CMAKE_EXPORT_COMPILE_COMMANDS ON, so any configured build tree has one).
+Exits 0 when clean (or improved), non-zero on new findings or tool error.
+"""
+
+import argparse
+import json
+import multiprocessing
+import re
+import shutil
+import subprocess
+import sys
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "bench" / "TIDY_baseline.json"
+
+# "/abs/file.cpp:12:5: warning: message text [check-name]"
+FINDING_RE = re.compile(
+    r"^(?P<file>/[^:]+):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[A-Za-z0-9.,_-]+)\]$"
+)
+
+
+def tidy_targets(build_dir: Path) -> list[str]:
+    """Translation units under src/, from the build's compile_commands."""
+    compile_db = build_dir / "compile_commands.json"
+    if not compile_db.is_file():
+        sys.exit(
+            f"error: {compile_db} not found — configure the build first "
+            f"(cmake -B {build_dir} -S .)"
+        )
+    src_prefix = str(REPO_ROOT / "src") + "/"
+    files = sorted(
+        {
+            entry["file"]
+            for entry in json.loads(compile_db.read_text())
+            if entry["file"].startswith(src_prefix)
+        }
+    )
+    if not files:
+        sys.exit(f"error: no src/ translation units in {compile_db}")
+    return files
+
+
+def run_tidy(binary: str, build_dir: Path, files: list[str], jobs: int) -> str:
+    """Run clang-tidy over every file, return the concatenated stdout."""
+
+    def one(path: str) -> str:
+        proc = subprocess.run(
+            [binary, "-p", str(build_dir), "--quiet", path],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        # clang-tidy exits non-zero when it emits findings; only a run
+        # with no parseable findings AND a non-zero exit is a tool error
+        # (bad flags, unparseable TU), which must not pass silently.
+        if proc.returncode != 0 and not any(
+            FINDING_RE.match(line) for line in proc.stdout.splitlines()
+        ):
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise RuntimeError(f"clang-tidy failed on {path}")
+        return proc.stdout
+
+    with ThreadPoolExecutor(max_workers=jobs) as pool:
+        try:
+            return "\n".join(pool.map(one, files))
+        except RuntimeError as err:
+            sys.exit(f"error: {err}")
+
+
+def collect_findings(output: str) -> Counter:
+    """Dedup findings (headers reappear once per including TU), then
+    count per (relative file, check)."""
+    unique = set()
+    for line in output.splitlines():
+        match = FINDING_RE.match(line)
+        if not match:
+            continue
+        path = Path(match["file"]).resolve()
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:
+            continue  # system / _deps header that slipped the filter
+        unique.add((str(rel), match["line"], match["col"], match["check"], match["message"]))
+    counts = Counter()
+    for rel, _line, _col, check, _message in unique:
+        for single in check.split(","):  # one diagnostic can carry aliases
+            counts[f"{rel}:{single}"] += 1
+    return counts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-p", "--build-dir", default="build", type=Path,
+                        help="build tree with compile_commands.json")
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary to use")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, type=Path)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to match current findings")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count())
+    args = parser.parse_args()
+
+    if shutil.which(args.clang_tidy) is None:
+        sys.exit(f"error: {args.clang_tidy!r} not on PATH")
+
+    build_dir = (REPO_ROOT / args.build_dir).resolve()
+    files = tidy_targets(build_dir)
+    print(f"clang-tidy over {len(files)} TUs (jobs={args.jobs})", flush=True)
+    counts = collect_findings(run_tidy(args.clang_tidy, build_dir, files, args.jobs))
+
+    if args.update_baseline:
+        args.baseline.write_text(
+            json.dumps(dict(sorted(counts.items())), indent=2) + "\n")
+        print(f"baseline updated: {len(counts)} entries -> {args.baseline}")
+        return 0
+
+    baseline = Counter(json.loads(args.baseline.read_text()))
+    new = counts - baseline
+    fixed = baseline - counts
+    if fixed:
+        print(f"note: {sum(fixed.values())} baselined finding(s) no longer "
+              f"occur — run with --update-baseline to ratchet down")
+    if new:
+        print(f"FAIL: {sum(new.values())} new clang-tidy finding(s) vs "
+              f"{args.baseline.name}:")
+        for key, count in sorted(new.items()):
+            print(f"  {key}  (+{count})")
+        print("fix them, or (only with reviewer sign-off) grandfather via "
+              "--update-baseline")
+        return 1
+    print(f"OK: no new findings ({sum(counts.values())} total, "
+          f"{sum(baseline.values())} baselined)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

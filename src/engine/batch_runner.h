@@ -8,6 +8,12 @@
 // Because the pool is shared, a solve's own analysis fan-out
 // (SolveOptions::analysis_threads) rides the same threads instead of
 // spawning more on top of the batch's.
+//
+// Concurrency contract: BatchRunner itself is immutable after
+// construction and holds no lock — every index writes only its own
+// outcome slot, and all shared mutable state lives behind the annotated
+// Executor pool and cache mutexes (support/thread_annotations.h), whose
+// discipline the clang -Wthread-safety lane checks at compile time.
 #pragma once
 
 #include <functional>

@@ -211,7 +211,7 @@ void DiskCache::put(std::string_view space, std::string_view key,
 }
 
 void DiskCache::trim() {
-  std::lock_guard<std::mutex> lock(trim_mutex_);
+  support::MutexLock lock(trim_mutex_);
 
   struct Entry {
     fs::path path;

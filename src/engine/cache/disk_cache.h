@@ -43,10 +43,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+
+#include "support/thread_annotations.h"
 
 namespace ttdim::engine::cache {
 
@@ -105,8 +106,10 @@ class DiskCache {
   }
 
   /// Enforce the byte budget now (also sweeps stale temp files). Called
-  /// automatically by put(); public for tests and shutdown hooks.
-  void trim();
+  /// automatically by put(); public for tests and shutdown hooks. The
+  /// EXCLUDES makes the non-reentrancy contract checkable: trim takes
+  /// the sweep mutex itself, so nothing holding it may call back in.
+  void trim() EXCLUDES(trim_mutex_);
 
  private:
   [[nodiscard]] std::string entry_path(std::string_view space,
@@ -121,7 +124,10 @@ class DiskCache {
   std::atomic<long> writes_{0};
   std::atomic<long> trims_{0};
   std::atomic<std::uint64_t> tmp_seq_{0};
-  std::mutex trim_mutex_;
+  /// Serializes budget-enforcement sweeps (the directory itself is the
+  /// guarded state — shared with other processes, so every individual
+  /// filesystem operation stays failure-tolerant regardless).
+  support::Mutex trim_mutex_;
 };
 
 }  // namespace ttdim::engine::cache

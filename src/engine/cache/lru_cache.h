@@ -30,11 +30,11 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
 #include "support/check.h"
+#include "support/thread_annotations.h"
 
 namespace ttdim::engine::cache {
 
@@ -65,7 +65,10 @@ class LruCache {
   /// index (engine/oracle/subsumption_index.h hangs off VerdictCache this
   /// way) observes departures exactly once and in order. The hook must
   /// not call back into this cache (the mutex is not recursive); lock
-  /// ordering is cache mutex -> anything the hook takes.
+  /// ordering is cache mutex -> anything the hook takes. The under-lock
+  /// obligation is typed, not just documented: every hook invocation
+  /// goes through fire_evict_hook_locked(), whose REQUIRES(mutex_) the
+  /// thread-safety analysis enforces on all call paths.
   using EvictHook = std::function<void(const Key&, const Value&)>;
 
   explicit LruCache(std::size_t budget, CostFn cost_fn = nullptr,
@@ -76,7 +79,7 @@ class LruCache {
 
   /// Returns the value and refreshes its recency; nullptr on miss.
   [[nodiscard]] std::shared_ptr<const Value> lookup(const Key& key) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -93,7 +96,7 @@ class LruCache {
   /// stay off the eviction tail, but the store's hit rate should keep
   /// reflecting only traffic it answered itself. No-op when absent.
   void touch(const Key& key) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it == index_.end()) return;
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -112,20 +115,13 @@ class LruCache {
     auto holder = std::make_shared<const Value>(std::move(value));
     const std::size_t cost = cost_fn_ ? cost_fn_(key, *holder) : 1;
     if (cost > budget_) return false;
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     if (index_.find(key) != index_.end()) return false;
     lru_.push_front(Entry{key, std::move(holder), cost});
     index_.emplace(key, lru_.begin());
     spent_ += cost;
     insertions_.fetch_add(1, std::memory_order_relaxed);
-    while (spent_ > budget_ && lru_.size() > 1) {
-      const Entry& victim = lru_.back();
-      spent_ -= victim.cost;  // refund the charged cost, never recomputed
-      if (on_evict_) on_evict_(victim.key, *victim.value);
-      index_.erase(victim.key);
-      lru_.pop_back();
-      evictions_.fetch_add(1, std::memory_order_relaxed);
-    }
+    while (spent_ > budget_ && lru_.size() > 1) evict_tail_locked();
     entries_.store(lru_.size(), std::memory_order_relaxed);
     cost_.store(spent_, std::memory_order_relaxed);
     return true;
@@ -148,9 +144,8 @@ class LruCache {
   /// entries are not counted as evictions. Destruction does NOT fire the
   /// hook — whatever the hook maintains is torn down with the owner.
   void clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (on_evict_)
-      for (const Entry& entry : lru_) on_evict_(entry.key, *entry.value);
+    support::MutexLock lock(mutex_);
+    for (const Entry& entry : lru_) fire_evict_hook_locked(entry);
     lru_.clear();
     index_.clear();
     spent_ = 0;
@@ -169,13 +164,33 @@ class LruCache {
     std::size_t cost;
   };
 
-  mutable std::mutex mutex_;
+  /// The one typed gate to the departure hook: REQUIRES(mutex_) is the
+  /// eviction-hook-fired-under-lock contract the secondary indexes rely
+  /// on, enforced by the analysis instead of by comments.
+  void fire_evict_hook_locked(const Entry& entry) REQUIRES(mutex_) {
+    if (on_evict_) on_evict_(entry.key, *entry.value);
+  }
+
+  /// Evict the least-recently-used entry, refunding exactly the charged
+  /// cost (never recomputed) and notifying the hook under the lock.
+  void evict_tail_locked() REQUIRES(mutex_) {
+    const Entry& victim = lru_.back();
+    spent_ -= victim.cost;
+    fire_evict_hook_locked(victim);
+    index_.erase(victim.key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  mutable support::Mutex mutex_;
   std::size_t budget_;
   CostFn cost_fn_;
   EvictHook on_evict_;
-  std::size_t spent_ = 0;  ///< guarded by mutex_
-  std::list<Entry> lru_;   ///< front = most recently used
-  std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t spent_ GUARDED_BY(mutex_) = 0;
+  /// front = most recently used
+  std::list<Entry> lru_ GUARDED_BY(mutex_);
+  std::unordered_map<Key, typename std::list<Entry>::iterator, KeyHash> index_
+      GUARDED_BY(mutex_);
   // Counters live outside the mutex so stats() is a lock-free atomic
   // snapshot even while batch jobs hammer the cache (the map and LRU
   // list stay mutex-guarded).

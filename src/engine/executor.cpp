@@ -2,15 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <system_error>
 #include <thread>
 #include <vector>
 
 #include "support/check.h"
+#include "support/thread_annotations.h"
 
 namespace ttdim::engine {
 
@@ -18,20 +17,23 @@ namespace {
 
 /// One run() call: the per-job task queue is the atomic index cursor —
 /// claiming an index IS dequeuing a task, and a foreign thread claiming
-/// from another job's cursor IS stealing.
+/// from another job's cursor IS stealing. Everything here is either
+/// atomic, written pre-publication, or owned per index; the mutable
+/// pool-side state (how many threads are attached to the job) lives in
+/// Impl::jobs under the pool mutex, where the thread-safety analysis can
+/// see its guard.
 struct Job {
   int n = 0;
   int parallelism = 1;  ///< attached-thread cap, including the caller
   const std::function<void(int)>* fn = nullptr;
   std::atomic<int> cursor{0};  ///< next unclaimed index
   std::atomic<int> done{0};    ///< indices finished executing
-  int active = 0;              ///< attached threads; guarded by the pool mutex
   /// Slot i written only by the thread that ran index i; reads are
   /// ordered after every write by the acquire load of done == n.
   std::vector<std::exception_ptr> errors;
   std::atomic<bool> failed{false};
-  std::mutex m;
-  std::condition_variable complete;
+  support::Mutex m;  ///< pairs with `complete` (the predicate is atomic)
+  support::CondVar complete;
 };
 
 void finish_index(Job& job) {
@@ -40,8 +42,8 @@ void finish_index(Job& job) {
   // orders every slot read after every slot write — the join-equivalent
   // of the old per-batch std::thread::join.
   if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
-    { std::lock_guard<std::mutex> lock(job.m); }
-    job.complete.notify_all();
+    { support::MutexLock lock(job.m); }
+    job.complete.NotifyAll();
   }
 }
 
@@ -64,27 +66,52 @@ void drain(Job& job) {
 struct Executor::Impl {
   explicit Impl(int cap) : max_threads(cap) {}
 
-  const int max_threads;
-  std::mutex mu;
-  std::condition_variable work;
-  std::vector<std::shared_ptr<Job>> jobs;  ///< active, submission order
-  std::vector<std::thread> workers;
-  bool stop = false;
+  /// One live job plus its pool-side bookkeeping: `attached` counts the
+  /// threads currently draining the job (including the submitter). It
+  /// lives here — not in Job — precisely so GUARDED_BY names its real
+  /// guard: the pool mutex, which every reader and writer already holds.
+  struct ActiveJob {
+    std::shared_ptr<Job> job;
+    int attached = 0;
+  };
 
-  /// Oldest job with unclaimed work and room under its cap — submission
-  /// order keeps outer batches ahead of their own nested fan-outs.
-  std::shared_ptr<Job> pick_locked() {
-    for (const std::shared_ptr<Job>& job : jobs)
-      if (job->cursor.load(std::memory_order_relaxed) < job->n &&
-          job->active < job->parallelism)
-        return job;
+  const int max_threads;
+  support::Mutex mu;
+  support::CondVar work;
+  /// Active jobs in submission order (outer batches stay ahead of their
+  /// own nested fan-outs).
+  std::vector<ActiveJob> jobs GUARDED_BY(mu);
+  std::vector<std::thread> workers GUARDED_BY(mu);
+  bool stop GUARDED_BY(mu) = false;
+
+  /// Claim the oldest job with unclaimed work and room under its cap,
+  /// attaching the calling thread to it; nullptr when nothing is ready.
+  std::shared_ptr<Job> claim_locked() REQUIRES(mu) {
+    for (ActiveJob& entry : jobs)
+      if (entry.job->cursor.load(std::memory_order_relaxed) < entry.job->n &&
+          entry.attached < entry.job->parallelism) {
+        ++entry.attached;
+        return entry.job;
+      }
     return nullptr;
+  }
+
+  /// Detach the calling thread from `job`. The submitter may already
+  /// have retired the job's entry (it only does so once done == n and
+  /// every stolen index has finished), in which case there is nothing
+  /// left to account.
+  void release_locked(const Job& job) REQUIRES(mu) {
+    for (ActiveJob& entry : jobs)
+      if (entry.job.get() == &job) {
+        --entry.attached;
+        return;
+      }
   }
 
   /// Grow the pool toward `wanted` workers (never beyond max_threads).
   /// A spawn failure is not fatal: the submitting thread always drains
   /// its own job, so fewer workers only means less overlap.
-  void ensure_workers_locked(int wanted) {
+  void ensure_workers_locked(int wanted) REQUIRES(mu) {
     const int target = std::min(wanted, max_threads);
     while (static_cast<int>(workers.size()) < target) {
       try {
@@ -96,19 +123,18 @@ struct Executor::Impl {
   }
 
   void worker_loop() {
-    std::unique_lock<std::mutex> lock(mu);
+    support::MutexLock lock(mu);
     for (;;) {
-      const std::shared_ptr<Job> job = pick_locked();
+      const std::shared_ptr<Job> job = claim_locked();
       if (!job) {
         if (stop) return;
-        work.wait(lock);
+        work.Wait(mu);
         continue;
       }
-      ++job->active;
-      lock.unlock();
+      lock.Unlock();
       drain(*job);
-      lock.lock();
-      --job->active;
+      lock.Lock();
+      release_locked(*job);
     }
   }
 };
@@ -118,12 +144,18 @@ Executor::Executor(int max_threads) : impl_(new Impl(max_threads)) {
 }
 
 Executor::~Executor() {
+  // Swap the worker handles out under the lock, join outside it: a
+  // worker needs the pool mutex to observe `stop` and exit, so joining
+  // while holding it would deadlock (and the analysis would flag the
+  // unlocked `workers` walk the old code did).
+  std::vector<std::thread> retired;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    support::MutexLock lock(impl_->mu);
     impl_->stop = true;
+    retired.swap(impl_->workers);
   }
-  impl_->work.notify_all();
-  for (std::thread& t : impl_->workers) t.join();
+  impl_->work.NotifyAll();
+  for (std::thread& t : retired) t.join();
   delete impl_;
 }
 
@@ -148,26 +180,26 @@ void Executor::run(int parallelism, int n, const std::function<void(int)>& fn) {
   job->parallelism = attached_cap;
   job->fn = &fn;
   job->errors.resize(static_cast<std::size_t>(n));
-  job->active = 1;  // the caller
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->jobs.push_back(job);
+    support::MutexLock lock(impl_->mu);
+    impl_->jobs.push_back({job, 1});  // the caller attaches as worker 0
     impl_->ensure_workers_locked(attached_cap - 1);
   }
-  impl_->work.notify_all();
+  impl_->work.NotifyAll();
 
   drain(*job);  // the caller is always worker 0 of its own job
   {
-    std::unique_lock<std::mutex> lock(job->m);
-    job->complete.wait(lock, [&] {
+    support::MutexLock lock(job->m);
+    job->complete.Wait(job->m, [&] {
       return job->done.load(std::memory_order_acquire) >= n;
     });
   }
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    --job->active;
+    support::MutexLock lock(impl_->mu);
     auto& jobs = impl_->jobs;
-    jobs.erase(std::find(jobs.begin(), jobs.end(), job));
+    jobs.erase(std::find_if(
+        jobs.begin(), jobs.end(),
+        [&](const Impl::ActiveJob& entry) { return entry.job == job; }));
   }
 
   if (job->failed.load(std::memory_order_relaxed))
@@ -176,8 +208,9 @@ void Executor::run(int parallelism, int n, const std::function<void(int)>& fn) {
 }
 
 int Executor::worker_count() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  support::MutexLock lock(impl_->mu);
   return static_cast<int>(impl_->workers.size());
 }
 
 }  // namespace ttdim::engine
+

@@ -17,6 +17,12 @@
 // Blocking nests safely: a worker that submits a nested job drains that
 // job's own cursor before waiting, so it degenerates to the serial loop
 // when no sibling is free — never a deadlock, never an extra thread.
+//
+// The pool's locking discipline is machine-checked: the implementation's
+// job table, worker handles and stop flag are GUARDED_BY the pool mutex
+// (an annotated support::Mutex, support/thread_annotations.h) and every
+// `_locked` helper carries REQUIRES — the clang -Wthread-safety CI lane
+// proves the discipline on every path, beyond the schedules TSan sees.
 #pragma once
 
 #include <functional>

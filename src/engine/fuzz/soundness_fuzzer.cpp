@@ -368,6 +368,13 @@ void record_finding(const Finding& f, const FuzzConfig& config,
 /// Caches shared across the whole campaign ("batch job" sharing): the
 /// fourth oracle configuration and the solve cross-checks reuse these, so
 /// cross-iteration subsumption and prefix reuse are genuinely exercised.
+///
+/// Concurrency contract: the campaign loop is serial, but the solve
+/// cross-check's parallel variants fan analysis work out across the
+/// shared Executor pool with these same caches attached — every member
+/// is an internally-synchronized type on the annotated support::Mutex
+/// (the clang -Wthread-safety lane proves their locking), so this struct
+/// needs no lock of its own and carries no GUARDED_BY state.
 struct FamilyCaches {
   std::shared_ptr<oracle::VerdictCache> verdicts =
       std::make_shared<oracle::VerdictCache>();

@@ -9,6 +9,12 @@
 // IncrementalAdmissionOracle (incremental_oracle.h), which keeps this
 // exact-hit tier first and adds cross-config subsumption and
 // prefix-snapshot extension between it and the fresh proof.
+//
+// Concurrency contract (machine-checked downstream): this type holds no
+// mutex of its own — options_ is immutable after construction, the
+// counters are individually atomic, and all locking lives inside the
+// annotated VerdictCache/LruCache layer (support/thread_annotations.h),
+// which the clang -Wthread-safety lane proves.
 #pragma once
 
 #include <atomic>

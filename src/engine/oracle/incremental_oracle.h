@@ -31,7 +31,11 @@
 // by a real verifier run.
 //
 // Thread-safe like the memoized layer: concurrent queries contend only on
-// the cache mutexes and the atomic counters.
+// the cache mutexes and the atomic counters. Those mutexes are the
+// annotated support::Mutex (support/thread_annotations.h) throughout the
+// cache layer, so the locking discipline this oracle leans on — including
+// the note-then-insert protocol's eviction-hook obligations — is proven
+// by the clang -Wthread-safety lane, not just exercised by TSan.
 #pragma once
 
 #include <atomic>

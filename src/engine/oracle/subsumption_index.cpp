@@ -39,8 +39,12 @@ void check_note(const SlotConfigKey& key, const SlotPopulationTokens& tokens) {
 SubsumptionIndex::SubsumptionIndex(std::size_t unsafe_capacity)
     : unsafe_lru_(unsafe_capacity, nullptr,
                   [this](const SlotConfigKey& key, const std::string& options) {
-                    // Fires inside note_unsafe/clear, which hold mutex_,
-                    // so groups_ is mutated without re-locking.
+                    // Fires inside note_unsafe/clear, which hold mutex_
+                    // (unsafe_lru_ is GUARDED_BY it, so no other path can
+                    // trigger this hook). The assertion hands that hold to
+                    // the analysis across the type-erased hook boundary;
+                    // erase_unsafe_locked's REQUIRES does the rest.
+                    mutex_.AssertHeld();
                     erase_unsafe_locked(key, options);
                   }) {}
 
@@ -48,7 +52,7 @@ std::optional<SubsumptionIndex::ProbeAnswer> SubsumptionIndex::probe(
     const SlotPopulationTokens& probe) const {
   probes_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t sig = signature_of(probe.apps);
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const auto group_it = groups_.find(probe.options);
   if (group_it == groups_.end()) return std::nullopt;
   const Group& group = group_it->second;
@@ -79,7 +83,7 @@ std::optional<SubsumptionIndex::ProbeAnswer> SubsumptionIndex::probe(
 void SubsumptionIndex::note_safe(const SlotConfigKey& key,
                                  const SlotPopulationTokens& tokens) {
   check_note(key, tokens);
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   Group& group = groups_[tokens.options];
   const auto [it, inserted] = group.safe.emplace(
       key, Population{tokens.apps, signature_of(tokens.apps)});
@@ -88,7 +92,7 @@ void SubsumptionIndex::note_safe(const SlotConfigKey& key,
 }
 
 void SubsumptionIndex::erase_safe(const SlotConfigKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   const auto group_it = groups_.find(std::string(key.options_suffix()));
   if (group_it == groups_.end()) return;
   Group& group = group_it->second;
@@ -100,7 +104,7 @@ void SubsumptionIndex::erase_safe(const SlotConfigKey& key) {
 void SubsumptionIndex::note_unsafe(const SlotConfigKey& key,
                                    const SlotPopulationTokens& tokens) {
   check_note(key, tokens);
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   // The LRU insert may evict the oldest unsafe population first; its
   // hook prunes that entry from groups_ under this same lock.
   if (!unsafe_lru_.insert(key, std::string(tokens.options))) return;
@@ -123,6 +127,11 @@ SubsumptionStats SubsumptionIndex::stats() const {
   out.safe_hits = safe_hits_.load(std::memory_order_relaxed);
   out.unsafe_hits = unsafe_hits_.load(std::memory_order_relaxed);
   out.safe_entries = safe_entries_.load(std::memory_order_relaxed);
+  // The unsafe-side snapshot takes the index lock — unsafe_lru_ is
+  // guarded so the eviction-hook protocol stays provable — which only
+  // orders this read behind in-flight probes (microsecond scans); the
+  // plain counters above stay lock-free.
+  support::MutexLock lock(mutex_);
   const cache::LruStats lru = unsafe_lru_.stats();
   out.unsafe_entries = lru.entries;
   out.unsafe_evictions = lru.evictions;
@@ -130,7 +139,7 @@ SubsumptionStats SubsumptionIndex::stats() const {
 }
 
 void SubsumptionIndex::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  support::MutexLock lock(mutex_);
   groups_.clear();
   unsafe_lru_.clear();  // per-entry hooks find nothing left to prune
   probes_.store(0, std::memory_order_relaxed);

@@ -37,13 +37,15 @@
 // prefilter — microseconds against proofs costing milliseconds to
 // seconds). Lock ordering: VerdictCache mutex -> index mutex -> internal
 // unsafe-LRU mutex; nothing here ever calls back into the verdict store.
+// The ordering and every guarded field are spelled out in thread-safety
+// annotations (support/thread_annotations.h), so the clang lane proves
+// the discipline instead of trusting this comment.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -51,6 +53,7 @@
 
 #include "engine/cache/lru_cache.h"
 #include "engine/oracle/slot_config_key.h"
+#include "support/thread_annotations.h"
 
 namespace ttdim::engine::oracle {
 
@@ -125,18 +128,21 @@ class SubsumptionIndex {
     std::unordered_map<SlotConfigKey, Population, SlotConfigKeyHash> unsafe;
   };
 
-  void erase_unsafe_locked(const SlotConfigKey& key,
-                           const std::string& options);
+  void erase_unsafe_locked(const SlotConfigKey& key, const std::string& options)
+      REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Group> groups_;  ///< guarded by mutex_
+  mutable support::Mutex mutex_;
+  std::unordered_map<std::string, Group> groups_ GUARDED_BY(mutex_);
   /// Recency + bound for the unsafe side, on the unified LRU template;
   /// the value is the owning group's options suffix so the eviction hook
-  /// can find and prune the inclusion entry. Only touched with mutex_
-  /// held, so the hook may mutate groups_ without re-locking. mutable:
-  /// probe() refreshes the recency of matched entries.
+  /// can find and prune the inclusion entry. GUARDED_BY(mutex_) even
+  /// though the LRU is internally thread-safe: every touch happens with
+  /// mutex_ held, which is exactly what lets the eviction hook mutate
+  /// groups_ without re-locking (it asserts, then relies on, that hold —
+  /// see the constructor). mutable: probe() refreshes the recency of
+  /// matched entries.
   mutable cache::LruCache<SlotConfigKey, std::string, SlotConfigKeyHash>
-      unsafe_lru_;
+      unsafe_lru_ GUARDED_BY(mutex_);
   // mutable: probe() is logically read-only but counts itself.
   mutable std::atomic<long> probes_{0};
   mutable std::atomic<long> safe_hits_{0};

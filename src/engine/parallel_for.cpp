@@ -15,6 +15,10 @@ int resolve_threads(int threads) {
   return hw > 0 ? hw : 1;
 }
 
+// No lock lives at this layer: the façade owns no state, and the shared
+// pool underneath is the annotated Executor (its mutex discipline is
+// compile-time-checked via support/thread_annotations.h). fn's contract —
+// write only state owned by index i — is what keeps this layer lock-free.
 void parallel_for_index(int threads, int n,
                         const std::function<void(int)>& fn) {
   TTDIM_EXPECTS(n >= 0);

@@ -1,0 +1,34 @@
+// Positive half of the thread-safety compile checks
+// (cmake/TtdimThreadSafetyCheck.cmake): a correctly locked GUARDED_BY
+// access must compile under every compiler — under clang with
+// -Wthread-safety -Werror (the analysis is satisfied), and under g++
+// where the annotation macros expand to nothing. Compiled standalone via
+// try_compile at configure time; NOT part of the tests/*.cpp glob.
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    ttdim::support::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  [[nodiscard]] int read() {
+    ttdim::support::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  ttdim::support::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return counter.read() == 1 ? 0 : 1;
+}

@@ -1,0 +1,37 @@
+// Negative half of the thread-safety compile checks
+// (cmake/TtdimThreadSafetyCheck.cmake): this file MUST NOT compile under
+// clang with -Wthread-safety -Werror. It reads a GUARDED_BY field
+// without holding its mutex and calls a REQUIRES helper lock-free — the
+// two violations the annotation layer exists to reject. If this file
+// ever compiles under the analysis, the contract layer is dead (macros
+// silently expanding to nothing under clang, a broken wrapper) and the
+// configure step fails loudly. Compiled standalone via try_compile; NOT
+// part of the tests/*.cpp glob. Under g++ the macros are no-ops and the
+// file compiles — which is exactly why the negative check only runs on
+// the clang lane.
+#include "support/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // Violation 1: GUARDED_BY read without the lock.
+  [[nodiscard]] int racy_read() { return value_; }
+
+  // Violation 2: calling a REQUIRES helper without holding the mutex.
+  void racy_bump() { bump_locked(); }
+
+ private:
+  void bump_locked() REQUIRES(mu_) { ++value_; }
+
+  ttdim::support::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.racy_bump();
+  return counter.racy_read();
+}

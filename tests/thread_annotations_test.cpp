@@ -1,0 +1,165 @@
+// Behavioral tests for support/thread_annotations.h: the annotated
+// Mutex/MutexLock/CondVar wrappers must be drop-in equivalents of
+// std::mutex / std::lock_guard / std::condition_variable. The clang
+// -Wthread-safety lane proves the *static* contracts; this suite proves
+// the wrappers actually lock (multi-thread hammers, run under the TSan
+// CI lane), that TryLock really contends, that MutexLock's relock cycle
+// (Unlock/Lock) round-trips, and that CondVar wakeups observe state
+// written under the mutex.
+#include "support/thread_annotations.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ttdim::support {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kItersPerThread = 5000;
+
+// A guarded counter in the exact shape every annotated type in
+// src/engine uses: Mutex + GUARDED_BY field + REQUIRES helper.
+class Counter {
+ public:
+  void bump() {
+    MutexLock lock(mu_);
+    bump_locked();
+  }
+
+  bool try_bump() {
+    if (!mu_.TryLock()) return false;
+    bump_locked();
+    mu_.Unlock();
+    return true;
+  }
+
+  [[nodiscard]] long read() {
+    MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() REQUIRES(mu_) { ++value_; }
+
+  Mutex mu_;
+  long value_ GUARDED_BY(mu_) = 0;
+};
+
+TEST(ThreadAnnotationsTest, MutexExcludesConcurrentWriters) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kItersPerThread; ++i) counter.bump();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.read(), static_cast<long>(kThreads) * kItersPerThread);
+}
+
+TEST(ThreadAnnotationsTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(ThreadAnnotationsTest, TryBumpAlwaysEventuallySucceeds) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        while (!counter.try_bump()) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.read(), static_cast<long>(kThreads) * kItersPerThread);
+}
+
+TEST(ThreadAnnotationsTest, MutexLockRelockCycleKeepsExclusion) {
+  // The executor's worker loop drops the pool lock to drain a job and
+  // re-acquires it to update bookkeeping; this hammers that exact
+  // Unlock()/Lock() cycle on MutexLock.
+  Mutex mu;
+  long guarded = 0;
+  std::atomic<long> unguarded{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        MutexLock lock(mu);
+        ++guarded;
+        lock.Unlock();
+        unguarded.fetch_add(1, std::memory_order_relaxed);
+        lock.Lock();
+        ++guarded;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(guarded, 2L * kThreads * kItersPerThread);
+  EXPECT_EQ(unguarded.load(), static_cast<long>(kThreads) * kItersPerThread);
+}
+
+TEST(ThreadAnnotationsTest, CondVarPredicateWaitSeesGuardedWrites) {
+  // Ping-pong handshake: consumer waits for each value with the
+  // predicate overload, producer publishes under the mutex. Lost-wakeup
+  // or a Wait that failed to re-lock would hang (test TIMEOUT) or trip
+  // TSan.
+  Mutex mu;
+  CondVar cv;
+  int published = 0;  // GUARDED_BY(mu) in spirit; local, so unannotated
+  constexpr int kRounds = 2000;
+
+  std::thread consumer([&] {
+    for (int expect = 1; expect <= kRounds; ++expect) {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&] { return published >= expect; });
+      EXPECT_GE(published, expect);
+    }
+  });
+  for (int round = 1; round <= kRounds; ++round) {
+    {
+      MutexLock lock(mu);
+      published = round;
+    }
+    cv.NotifyOne();
+  }
+  consumer.join();
+}
+
+TEST(ThreadAnnotationsTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> awake{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&] { return go; });
+      awake.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(awake.load(), kThreads);
+}
+
+}  // namespace
+}  // namespace ttdim::support
