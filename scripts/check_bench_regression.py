@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
 """Gate on benchmark regressions of the case-study solve.
 
-Compares fresh google-benchmark JSON reports (bench_oracle, and since
-the analysis-cache PR also bench_batch for BM_CaseStudySolveAnalysisWarm,
-BM_CaseStudySolveSubsumptionWarm and BM_CaseStudySolveDiskWarm) against
+Compares fresh google-benchmark JSON reports (bench_oracle; bench_batch
+for BM_CaseStudySolveAnalysisWarm, BM_CaseStudySolveSubsumptionWarm and
+BM_CaseStudySolveDiskWarm; bench_verification for the BM_DiscreteLarge
+serial/parallel verifier pair) against
 the checked-in bench/BENCH_baseline.json. Any gated benchmark that cannot be compared —
 missing from the current reports or the baseline, or normalized by an
 absent/zero calibration — fails the gate loudly; nothing is skipped. Absolute times are
@@ -41,6 +42,12 @@ GATED = [
     "BM_CaseStudySolveAnalysisWarm",
     "BM_CaseStudySolveSubsumptionWarm",
     "BM_CaseStudySolveDiskWarm",
+    # The discrete verifier's heap-fallback hot loop (bench_verification):
+    # serial, and the Executor-parallel driver at 8 threads. Gated as two
+    # absolute (calibrated) times, not a speedup ratio — on a single-core
+    # runner the parallel time legitimately equals the serial one.
+    "BM_DiscreteLarge/1",
+    "BM_DiscreteLarge/8",
 ]
 CALIBRATION = "BM_Calibration"
 

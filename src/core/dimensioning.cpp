@@ -288,6 +288,7 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   verify::DiscreteVerifier::Options vopt;
   vopt.max_disturbances_per_app = options.max_disturbances_per_app;
   vopt.policy = options.policy;
+  vopt.proof_threads = engine::resolve_threads(options.proof_threads);
   std::shared_ptr<engine::oracle::VerdictCache> cache;
   if (options.memoize_admission)
     cache = options.verdict_cache
@@ -315,6 +316,8 @@ Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
   solution.stats.prefix_hits = oracle.prefix_hits();
   solution.stats.states_reused = oracle.states_reused();
   solution.stats.states_extended = oracle.states_extended();
+  solution.stats.parallel_proofs = oracle.parallel_proofs();
+  solution.stats.proof_threads = vopt.proof_threads;
 
   // ---- Baseline mappings ([9]). -------------------------------------------
   const auto t_baseline = Clock::now();

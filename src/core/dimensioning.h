@@ -108,6 +108,15 @@ struct SolveOptions {
   /// dwell tables) and of the dwell-row search: 1 = serial (default),
   /// 0 = hardware concurrency. Results are independent of this value.
   int analysis_threads = 1;
+  /// Thread budget of each discrete admission proof
+  /// (verify::DiscreteVerifier::Options::proof_threads): 1 = serial
+  /// (default), 0 = hardware concurrency. > 1 routes fresh full proofs
+  /// to the Executor-parallel BFS driver; prefix-seeded extensions and
+  /// witness/depth-first diagnostics stay serial (their discovery order
+  /// is part of their contract). Results are independent of this value
+  /// — like analysis_threads it is excluded from SolveKey, so warm and
+  /// cold thread configurations share solve-result cache entries.
+  int proof_threads = 1;
   /// Persistent second tier under the memory caches
   /// (engine/cache/disk_cache.h): analysis results, admission verdicts
   /// and whole-solve results survive the process, so a restarted daemon

@@ -444,6 +444,16 @@ void run_iteration(long it, const FuzzConfig& config, FamilyCaches& family,
     oracles.push_back(std::make_unique<oracle::IncrementalAdmissionOracle>(
         vopt, std::make_shared<oracle::VerdictCache>(),
         std::make_shared<oracle::SnapshotCache>(), true, family.disk));
+  // Parallel-verifier configuration: private exact cache only, so every
+  // miss of this walk is a fresh proof on the Executor-parallel driver
+  // (proof_threads = 2). Its verdicts are contractually identical to
+  // serial ones, so its slot assignment must match the reference byte
+  // for byte — every admission of the walk cross-checks the parallel
+  // BFS against the serial trajectory.
+  verify::DiscreteVerifier::Options pvopt = vopt;
+  pvopt.proof_threads = 2;
+  oracles.push_back(std::make_unique<oracle::IncrementalAdmissionOracle>(
+      pvopt, std::make_shared<oracle::VerdictCache>(), nullptr, false));
 
   const std::vector<int> order = mapping::paper_sort_order(apps);
   std::vector<mapping::SlotAssignment> assignments;
@@ -520,6 +530,42 @@ void run_iteration(long it, const FuzzConfig& config, FamilyCaches& family,
       record_finding(shrink_finding(std::move(*f), claim_fn, vopt, scan_seed),
                      config, it, vopt, report);
   }
+
+  // Parallel-verifier differential, at verdict level: re-prove the
+  // walk's populations under proof_threads = 2 and hold the parallel
+  // driver to its full contract — identical `safe` always, identical
+  // states_explored when both sides completed a safe proof (the
+  // level-synchronous dedup makes the safe count the reachable-set size,
+  // order-independent). Budget exhaustion on either side skips the pair:
+  // throw parity is only promised for proofs that are safe when
+  // completed, which an exhausted run never reveals.
+  verify::DiscreteVerifier::Options par_vopt = vopt;
+  par_vopt.proof_threads = 2;
+  const auto check_parallel = [&](const Population& pop) {
+    const std::optional<verify::SlotVerdict> serial =
+        guarded_verify(pop, vopt, false);
+    const std::optional<verify::SlotVerdict> parallel =
+        guarded_verify(pop, par_vopt, false);
+    if (!serial || !parallel) {
+      ++report.skipped_budget;
+      return;
+    }
+    ++report.parallel_checks;
+    const bool mismatch =
+        serial->safe != parallel->safe ||
+        (serial->safe && serial->states_explored != parallel->states_explored);
+    if (!mismatch) return;
+    ++report.disagreements;
+    std::ostringstream line;
+    line << "iteration " << it << ": serial-vs-parallel verifier mismatch ("
+         << (serial->safe ? "safe" : "unsafe") << "/"
+         << serial->states_explored << " states vs "
+         << (parallel->safe ? "safe" : "unsafe") << "/"
+         << parallel->states_explored << " states)";
+    report.disagreement_summaries.push_back(line.str());
+  };
+  for (const Population& pop : slot_pops) check_parallel(pop);
+  if (!rejected.empty()) check_parallel(rejected.front());
 
   // Antitone probes. A strict sub-population of an admitted slot must
   // admit (tier-2 safe hit on the shared caches) and must re-prove safe —
@@ -632,6 +678,10 @@ void run_solve_check(long it, const FuzzConfig& config, FamilyCaches& family,
     o.verdict_cache = family.verdicts;
     o.snapshot_cache = family.snapshots;
     o.analysis_threads = 0;
+    // Fresh admission proofs on the parallel BFS driver (explicit 2, not
+    // 0: hardware concurrency may resolve to 1 on small CI boxes, which
+    // would silently drop the parallel path from the fingerprint check).
+    o.proof_threads = 2;
     o.disk_cache = family.disk;  // null = tier off, same as elsewhere
     variants.emplace_back("tiers-shared-parallel", o);
   }
@@ -764,6 +814,7 @@ std::vector<std::string> FuzzReport::missing_coverage() const {
   for (const auto& [name, count] : tiers)
     if (count == 0) missing.push_back(std::string("tier:") + name);
   if (disk_enabled && disk_hits == 0) missing.push_back("tier:disk");
+  if (parallel_checks == 0) missing.push_back("config:parallel");
   std::vector<std::string> kinds;
   for (const ScenarioKind kind : kAllScenarioKinds)
     kinds.emplace_back(scenario_kind_name(kind));
@@ -792,6 +843,7 @@ std::string FuzzReport::to_string() const {
   out << "tier prefix " << prefix_hits << "\n";
   out << "tier fresh " << fresh_proofs << "\n";
   if (disk_enabled) out << "tier disk " << disk_hits << "\n";
+  out << "parallel_checks " << parallel_checks << "\n";
   for (const auto& [kind, count] : scenario_kind_counts)
     out << "kind " << kind << " " << count << "\n";
   out << "disagreements " << disagreements << "\n";

@@ -8,12 +8,15 @@
 // Per iteration it:
 //   1. generates a random application population (timing-level) and picks
 //      verdict-affecting verifier options (policy, disturbance bound);
-//   2. runs the first-fit mapping under four admission-oracle
-//      configurations (reference / exact-only / full-private /
-//      full-shared — the SolveOptions-toggle matrix at mapping level),
-//      plus a fifth, fresh-memory configuration over the persistent disk
-//      tier when a cache directory is configured, and requires identical
-//      slot assignments;
+//   2. runs the first-fit mapping under the admission-oracle
+//      configuration matrix (reference / exact-only / full-private /
+//      full-shared — the SolveOptions-toggle matrix at mapping level —
+//      plus a fresh-memory configuration over the persistent disk tier
+//      when a cache directory is configured, and a parallel-verifier
+//      configuration whose fresh proofs run with proof_threads = 2) and
+//      requires identical slot assignments; admitted and rejected
+//      populations are additionally re-proved serial-vs-parallel at
+//      verdict level (same `safe`; same states_explored when safe);
 //   3. re-verifies every admitted slot population with a fresh BFS and
 //      simulates it against every ScenarioGenerator kind plus a max-rate
 //      hyperperiod sweep — an admitted population must never miss a
@@ -109,6 +112,12 @@ struct FuzzReport {
   /// when the campaign ran with a disk cache directory.
   long disk_hits = 0;
   bool disk_enabled = false;
+  /// Serial-vs-parallel verifier differentials performed: populations of
+  /// the walk re-proved under proof_threads = 2 and compared against the
+  /// serial verdict (same `safe` always; same states_explored when both
+  /// completed safe). Zero is a coverage gap ("config:parallel") — the
+  /// parallel driver must never silently drop out of the campaign.
+  long parallel_checks = 0;
 
   /// Simulated scenarios by kind name (the seven ScenarioGenerator kinds
   /// plus "hyperperiod" and "witness").

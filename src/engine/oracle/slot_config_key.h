@@ -61,7 +61,10 @@ struct SlotConfigKey {
   /// budget-exhausted throw, so sharing verdicts across budgets would
   /// make memoization observable). Witness/traversal options are
   /// excluded — the memoized oracle caches only exhaustive safe verdicts
-  /// and bypasses the cache for witness queries.
+  /// and bypasses the cache for witness queries. proof_threads is
+  /// likewise excluded: serial and parallel proofs are contractually
+  /// interchangeable (identical verdicts, identical safe state counts —
+  /// verify/discrete.h), so they share cache entries.
   [[nodiscard]] static SlotConfigKey of(
       const std::vector<verify::AppTiming>& apps,
       const verify::DiscreteVerifier::Options& options);

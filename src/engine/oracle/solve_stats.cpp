@@ -13,14 +13,14 @@ std::string SolveStats::summary() const {
       "mapping %.1f, baseline %.1f) | analysis cache %ld hits, %ld misses, "
       "%ld evictions | oracle %ld calls, %ld hits, %ld misses, %ld states | "
       "subsumption %ld hits, %ld cuts | prefix %ld hits, %ld reused, "
-      "%ld extended | disk %ld hits, %ld misses, %ld writes, %ld trims | "
-      "solution %ld hits, %ld misses",
+      "%ld extended | parallel %ld proofs @%d threads | disk %ld hits, "
+      "%ld misses, %ld writes, %ld trims | solution %ld hits, %ld misses",
       total_ms, analysis_ms, stability_ms, dwell_ms, mapping_ms, baseline_ms,
       analysis_hits, analysis_misses, analysis_evictions, oracle_calls,
       cache_hits, cache_misses, verifier_states, subsumption_hits,
       subsumption_cuts, prefix_hits, states_reused, states_extended,
-      disk_hits, disk_misses, disk_writes, disk_trims, solution_hits,
-      solution_misses);
+      parallel_proofs, proof_threads, disk_hits, disk_misses, disk_writes,
+      disk_trims, solution_hits, solution_misses);
   return buf;
 }
 
@@ -41,6 +41,7 @@ SolveStats operator+(const SolveStats& a, const SolveStats& b) {
   out.prefix_hits = a.prefix_hits + b.prefix_hits;
   out.states_reused = a.states_reused + b.states_reused;
   out.states_extended = a.states_extended + b.states_extended;
+  out.parallel_proofs = a.parallel_proofs + b.parallel_proofs;
   out.analysis_hits = a.analysis_hits + b.analysis_hits;
   out.analysis_misses = a.analysis_misses + b.analysis_misses;
   out.analysis_evictions = a.analysis_evictions + b.analysis_evictions;
@@ -51,6 +52,7 @@ SolveStats operator+(const SolveStats& a, const SolveStats& b) {
   out.solution_hits = a.solution_hits + b.solution_hits;
   out.solution_misses = a.solution_misses + b.solution_misses;
   out.analysis_threads = std::max(a.analysis_threads, b.analysis_threads);
+  out.proof_threads = std::max(a.proof_threads, b.proof_threads);
   return out;
 }
 

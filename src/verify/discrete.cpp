@@ -2,17 +2,29 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bitset>
 #include <cstring>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
 
+// The parallel proof driver fans frontier chunks out on the process-wide
+// work-stealing pool. This is the one place src/verify/ reaches into
+// src/engine/ (cpp-only; the header stays engine-free).
+#include "engine/executor.h"
 #include "support/check.h"
+#include "verify/visited_set.h"
 
 namespace ttdim::verify {
 
 namespace {
+
+using detail::HeapKey;
+using detail::KeyHash;
+using detail::SmallKey;
+using detail::VisitedSet;
+using detail::round8;
 
 /// Application mode within the slot-sharing protocol.
 enum Loc : uint8_t { kSteady = 0, kWait = 1, kTt = 2, kSafe = 3 };
@@ -24,141 +36,6 @@ struct AppState {
   uint8_t elapsed = 0;
   uint8_t wt_grant = 0;
   uint8_t dist_count = 0;
-};
-
-constexpr size_t round8(size_t n) { return (n + 7) & ~size_t{7}; }
-
-/// Fixed-capacity dedup key: three bytes per application (mode and
-/// disturbance budget share a byte), zero-padded to the capacity so
-/// hashing reads whole 8-byte words without touching the heap. Two
-/// capacities are instantiated: 16 bytes covers up to 5 applications (the
-/// hot mapping-walk probes — halving the key keeps the visited table and
-/// queue cache-resident far longer), 48 bytes covers the full packed cap
-/// of DiscreteVerifier::kMaxApps.
-template <size_t Cap>
-struct SmallKey {
-  static_assert(Cap % 8 == 0, "hashing reads whole 8-byte words");
-  std::array<uint8_t, Cap> bytes{};
-  uint8_t len = 0;  ///< 0 marks an empty visited-table slot
-
-  /// Small capacities hash the whole (zero-padded) array: the trip count
-  /// becomes a compile-time constant and padded words mix in nothing but
-  /// zeros. Larger capacities hash only the occupied words.
-  static constexpr size_t kFixedHashSpan = Cap <= 16 ? Cap : 0;
-
-  [[nodiscard]] const uint8_t* data() const noexcept { return bytes.data(); }
-  [[nodiscard]] uint8_t* data() noexcept { return bytes.data(); }
-  [[nodiscard]] bool empty() const noexcept { return len == 0; }
-
-  friend bool operator==(const SmallKey& a, const SmallKey& b) {
-    // Fixed-size compare inlines to a couple of word compares; the
-    // padding beyond len is zero on both sides, so it never flips the
-    // answer for keys of equal length (all keys of one run share len).
-    return a.len == b.len &&
-           std::memcmp(a.bytes.data(), b.bytes.data(), Cap) == 0;
-  }
-  friend bool operator!=(const SmallKey& a, const SmallKey& b) {
-    return !(a == b);
-  }
-};
-
-/// Heap-backed key for populations beyond the packed cap (> kMaxApps
-/// applications): same 3-bytes-per-app layout, storage rounded up to whole
-/// words and zero-padded so the shared hash loop applies unchanged. This
-/// is the compatibility fallback — per-state allocation is acceptable
-/// because the disturbance branching dominates long before key traffic
-/// does at such sizes.
-struct HeapKey {
-  std::vector<uint8_t> bytes;  ///< size == round8(len), zero-padded
-  uint16_t len = 0;
-
-  static constexpr size_t kFixedHashSpan = 0;  ///< length-bounded hashing
-
-  [[nodiscard]] const uint8_t* data() const noexcept { return bytes.data(); }
-  [[nodiscard]] uint8_t* data() noexcept { return bytes.data(); }
-  [[nodiscard]] bool empty() const noexcept { return len == 0; }
-
-  friend bool operator==(const HeapKey& a, const HeapKey& b) {
-    return a.len == b.len && a.bytes == b.bytes;
-  }
-  friend bool operator!=(const HeapKey& a, const HeapKey& b) {
-    return !(a == b);
-  }
-};
-
-/// Word-at-a-time mix (splitmix-style) over the zero-padded key, bounded
-/// by the words the key actually occupies — all keys of one run share a
-/// length, so the trailing zero padding inside the last word is
-/// collision-neutral and the loop trip count is minimal.
-template <typename Key>
-struct KeyHash {
-  size_t operator()(const Key& k) const noexcept {
-    uint64_t h = 0x9E3779B97F4A7C15ull ^ k.len;
-    const uint8_t* data = k.data();
-    const size_t words = Key::kFixedHashSpan != 0
-                             ? Key::kFixedHashSpan  // constant trip count
-                             : round8(k.len);
-    for (size_t off = 0; off < words; off += 8) {
-      uint64_t w;
-      std::memcpy(&w, data + off, 8);
-      h = (h ^ w) * 0xFF51AFD7ED558CCDull;
-      h ^= h >> 29;
-    }
-    return static_cast<size_t>(h);
-  }
-};
-
-/// Open-addressing visited set: linear probing over flat key slots
-/// (emptiness is the key's own len == 0 marker, so a slot carries no
-/// metadata beyond the key bytes — at 17 bytes per 5-app slot the table
-/// stays several times smaller than a node-based set and the BFS's tens
-/// of millions of membership-or-insert probes stay in cache accordingly).
-template <typename Key>
-class VisitedSet {
- public:
-  VisitedSet() { rehash(size_t{1} << 16); }
-
-  /// Pre-sizes for `n` expected keys (used when seeding from a prefix
-  /// snapshot whose cardinality is a known lower bound).
-  void reserve(size_t n) {
-    size_t capacity = mask_ + 1;
-    while (capacity - capacity / 4 < n) capacity *= 2;
-    if (capacity > mask_ + 1) rehash(capacity);
-  }
-
-  /// True when the key was newly inserted (i.e. not seen before).
-  bool insert(const Key& k) {
-    size_t i = KeyHash<Key>{}(k)&mask_;
-    for (;;) {
-      Key& s = slots_[i];
-      if (s.empty()) {
-        s = k;
-        if (++size_ > grow_at_) rehash(2 * (mask_ + 1));
-        return true;
-      }
-      if (s == k) return false;
-      i = (i + 1) & mask_;
-    }
-  }
-
- private:
-  void rehash(size_t capacity) {
-    std::vector<Key> old = std::move(slots_);
-    slots_.assign(capacity, Key{});
-    mask_ = capacity - 1;
-    grow_at_ = capacity - capacity / 4;  // load factor 0.75
-    for (Key& k : old) {
-      if (k.empty()) continue;
-      size_t i = KeyHash<Key>{}(k)&mask_;
-      while (!slots_[i].empty()) i = (i + 1) & mask_;
-      slots_[i] = std::move(k);
-    }
-  }
-
-  std::vector<Key> slots_;
-  size_t mask_ = 0;
-  size_t size_ = 0;
-  size_t grow_at_ = 0;
 };
 
 /// State-representation policy: the search below is written once against
@@ -222,17 +99,437 @@ void decode(const typename Shape::Key& key, size_t napps,
 /// this width — a single expansion would dwarf any realistic state budget.
 constexpr size_t kMaxSteadyBranching = 26;
 
+/// Successor probes buffered per flush into the visited set. Large enough
+/// to amortize ensure_room() and give the prefetches time to land, small
+/// enough to stay cache-resident.
+constexpr size_t kProbeBlock = 512;
+
+/// Minimum frontier states per parallel chunk — below this the chunking
+/// overhead beats the win.
+constexpr long kParallelGrain = 8;
+
+inline size_t ctz(size_t bits) {
+  return static_cast<size_t>(__builtin_ctzll(bits));
+}
+
+/// A hashed-up-front candidate successor awaiting its visited-set probe.
+template <typename Key>
+struct Probe {
+  size_t hash;
+  Key key;
+};
+
+/// One-state-to-all-successors generator, shared verbatim by the serial
+/// and the parallel drivers (which is what makes their reachable sets —
+/// and hence verdicts and states_explored — provably identical).
+///
+/// Two interior paths:
+///  - expand_fast(): the kPaper no-witness hot path. Works directly on
+///    the packed key bytes — encode the post-elapse base once, then each
+///    disturbance subset is a word-level copy of that 16/48-byte
+///    encoding plus popcount-many byte patches, and grants patch two
+///    more bytes. No AppState walk, no re-encode, no per-successor
+///    dispatch: the inner loops are straight-line copies and table
+///    lookups the compiler auto-vectorizes.
+///  - expand_generic(): the reference path (witness recording, and the
+///    kSlackAware policy whose preemption test needs full waiter views).
+///
+/// Emission order is identical across both paths and matches the
+/// original one-state-at-a-time code exactly: subsets in ascending mask
+/// order, grant ties in ascending app index. Everything downstream
+/// (discovery order, fingerprints, snapshots, DFS traversal) depends on
+/// that order, so it is part of this class's contract.
+template <typename Shape>
+class Expander {
+ public:
+  using Key = typename Shape::Key;
+  using State = typename Shape::State;
+
+  Expander(const std::vector<AppTiming>& apps,
+           const DiscreteVerifier::Options& options)
+      : apps_(apps),
+        options_(options),
+        napps_(apps.size()),
+        bounded_(options.max_disturbances_per_app >= 0),
+        base_(Shape::blank(napps_)),
+        s_(Shape::blank(napps_)),
+        granted_(Shape::blank(napps_)) {}
+
+  struct Violation {
+    int violator = -1;
+    std::string action;  ///< only materialized when Record
+  };
+
+  /// Expands `cur_key`. Returns false when the elapse phase reaches the
+  /// Error location (violation filled); otherwise feeds every successor
+  /// key to `sink` — sink(Key&&) normally, or sink(Key&&, action, tick)
+  /// when Record — and returns true. `seed_pop`/`prefix_napps` carry the
+  /// prefix-extension subset restriction (see run_search).
+  template <bool Record, typename Sink>
+  bool expand(const Key& cur_key, bool seed_pop, size_t prefix_napps,
+              Violation& violation, Sink&& sink) {
+    decode<Shape>(cur_key, napps_, base_);
+
+    // ---- Phase 1: one sample elapses. -----------------------------------
+    bool error_now = false;
+    for (size_t i = 0; i < napps_; ++i) {
+      AppState& a = base_[i];
+      switch (a.loc) {
+        case kSteady:
+          break;
+        case kWait:
+          ++a.elapsed;
+          // Clock passed T*w while still waiting: the application automaton
+          // reaches Error (paper Fig. 5).
+          if (a.elapsed > apps_[i].t_star_w) {
+            error_now = true;
+            violation.violator = static_cast<int>(i);
+            if (Record)
+              violation.action = apps_[i].name + " exceeded T*w=" +
+                                 std::to_string(apps_[i].t_star_w) +
+                                 " while waiting";
+          }
+          break;
+        case kTt:
+          ++a.elapsed;
+          break;
+        case kSafe:
+          ++a.elapsed;
+          if (a.elapsed >= apps_[i].min_interarrival) {
+            a.loc = kSteady;
+            a.elapsed = 0;
+            a.wt_grant = 0;
+          }
+          break;
+      }
+    }
+    if (error_now) {
+      // A seeded state cannot reach Error in phase 1: the prefix proof
+      // already expanded it without one, and appended (steady) apps never
+      // wait. Anything else would mean the snapshot belongs to different
+      // timings than this prefix.
+      TTDIM_CHECK(!seed_pop);
+      return false;
+    }
+
+    // ---- Subset-invariant occupant facts. -------------------------------
+    // A disturbance subset only moves kSteady apps to kWait, so the slot
+    // occupant, its continuous time in the slot and its dwell-row bounds
+    // are identical across all subsets of this pop — hoisted out of the
+    // expansion loop (phase 3 consumes them).
+    occupant0_ = -1;
+    for (size_t i = 0; i < napps_; ++i)
+      if (base_[i].loc == kTt) {
+        TTDIM_CHECK(occupant0_ < 0);  // single-slot invariant
+        occupant0_ = static_cast<int>(i);
+      }
+    occ_ct_ = occ_dtm_ = occ_dtp_ = 0;
+    if (occupant0_ >= 0) {
+      const AppState& o = base_[static_cast<size_t>(occupant0_)];
+      occ_ct_ = o.elapsed - o.wt_grant;
+      occ_dtm_ = apps_[static_cast<size_t>(occupant0_)].t_minus[o.wt_grant];
+      occ_dtp_ = apps_[static_cast<size_t>(occupant0_)].t_plus[o.wt_grant];
+      TTDIM_CHECK(occ_ct_ >= 0 && occ_ct_ <= occ_dtp_);
+    }
+    base_waiters_ = 0;
+    for (size_t i = 0; i < napps_; ++i)
+      if (base_[i].loc == kWait) ++base_waiters_;
+
+    // ---- Phase 2 setup: which apps can be disturbed. --------------------
+    steady_.clear();
+    for (size_t i = 0; i < napps_; ++i) {
+      if (base_[i].loc != kSteady) continue;
+      if (bounded_ &&
+          base_[i].dist_count >=
+              static_cast<uint8_t>(options_.max_disturbances_per_app))
+        continue;
+      steady_.push_back(i);
+    }
+    if (steady_.size() > kMaxSteadyBranching)
+      throw std::runtime_error(
+          "DiscreteVerifier: disturbance branching too wide (" +
+          std::to_string(steady_.size()) +
+          " simultaneously disturbable applications)");
+
+    // Subsets that disturb no appended application map a seeded state to
+    // another seeded state (the prefix is closed under its own
+    // transitions), so re-expanding a seed only needs the branches that
+    // involve an appended app. Skipping the rest emits nothing new by
+    // construction — the skipped successors are already in the visited
+    // set — and leaves the discovery order of genuinely new states
+    // untouched.
+    size_t appended_mask = 0;
+    if (seed_pop)
+      for (size_t b = 0; b < steady_.size(); ++b)
+        if (steady_[b] >= prefix_napps) appended_mask |= size_t{1} << b;
+
+    if constexpr (Record) {
+      expand_generic<true>(appended_mask, seed_pop, sink);
+    } else if (options_.policy == SlotPolicy::kSlackAware) {
+      expand_generic<false>(appended_mask, seed_pop, sink);
+    } else {
+      expand_fast(appended_mask, seed_pop, sink);
+    }
+    return true;
+  }
+
+ private:
+  // Phases 2–4 over full AppState copies: the reference expansion, kept
+  // for witness recording (action strings, tick contents — a handful of
+  // heap allocations per successor) and for the slack-aware policy.
+  template <bool Record, typename Sink>
+  void expand_generic(size_t appended_mask, bool seed_pop, Sink&& sink) {
+    const size_t subsets = size_t{1} << steady_.size();
+    for (size_t mask = 0; mask < subsets; ++mask) {
+      if (seed_pop && (mask & appended_mask) == 0) continue;
+      s_ = base_;
+      std::string action;
+      if (Record) action = "tick";
+      WitnessTick tick;
+      for (size_t b = 0; b < steady_.size(); ++b) {
+        if (!(mask & (size_t{1} << b))) continue;
+        AppState& a = s_[steady_[b]];
+        a.loc = kWait;
+        a.elapsed = 0;
+        if (bounded_) ++a.dist_count;
+        if (Record) {
+          action += " disturb(" + apps_[steady_[b]].name + ")";
+          tick.disturbed.push_back(static_cast<int>(steady_[b]));
+        }
+      }
+
+      // ---- Phase 3: slot occupant bookkeeping. --------------------------
+      int occupant = occupant0_;
+      // Waiters in s = waiters surviving phase 1 + the just-disturbed.
+      const bool any_waiter =
+          base_waiters_ + std::bitset<64>(mask).count() > 0;
+      auto leave_slot = [&](size_t i, const char* why) {
+        AppState& a = s_[i];
+        if (a.elapsed >= apps_[i].min_interarrival) {
+          a.loc = kSteady;
+          a.elapsed = 0;
+        } else {
+          a.loc = kSafe;
+        }
+        a.wt_grant = 0;
+        if (Record)
+          action += std::string(" ") + why + "(" + apps_[i].name + ")";
+      };
+      if (occupant >= 0) {
+        if (occ_ct_ == occ_dtp_) {
+          leave_slot(static_cast<size_t>(occupant), "evict");
+          occupant = -1;
+        } else if (occ_ct_ >= occ_dtm_ && any_waiter) {
+          bool preempt = true;
+          if (options_.policy == SlotPolicy::kSlackAware) {
+            waiters_.clear();
+            for (size_t i = 0; i < napps_; ++i)
+              if (s_[i].loc == kWait)
+                waiters_.push_back({static_cast<int>(i), s_[i].elapsed});
+            preempt = !preemption_postponable(apps_, waiters_, occupant);
+          }
+          if (preempt) {
+            leave_slot(static_cast<size_t>(occupant), "preempt");
+            occupant = -1;
+          }
+        }
+      }
+
+      // ---- Phase 4: grant (EDF on remaining deadline, ties explored). ---
+      if (occupant < 0) {
+        int best_remaining = INT32_MAX;
+        candidates_.clear();
+        for (size_t i = 0; i < napps_; ++i) {
+          if (s_[i].loc != kWait) continue;
+          const int remaining = apps_[i].t_star_w - s_[i].elapsed;
+          TTDIM_CHECK(remaining >= 0);
+          if (remaining < best_remaining) {
+            best_remaining = remaining;
+            candidates_.clear();
+            candidates_.push_back(i);
+          } else if (remaining == best_remaining) {
+            candidates_.push_back(i);
+          }
+        }
+        if (!candidates_.empty()) {
+          for (size_t c : candidates_) {
+            granted_ = s_;
+            granted_[c].loc = kTt;
+            granted_[c].wt_grant = granted_[c].elapsed;
+            if constexpr (Record) {
+              WitnessTick grant_tick = tick;
+              grant_tick.granted = static_cast<int>(c);
+              sink(encode<Shape>(granted_, napps_),
+                   action + " grant(" + apps_[c].name +
+                       ",Tw=" + std::to_string(granted_[c].elapsed) + ")",
+                   std::move(grant_tick));
+            } else {
+              sink(encode<Shape>(granted_, napps_));
+            }
+          }
+          continue;  // grant branches cover this subset
+        }
+      }
+      if constexpr (Record) {
+        sink(encode<Shape>(s_, napps_), action, std::move(tick));
+      } else {
+        sink(encode<Shape>(s_, napps_));
+      }
+    }
+  }
+
+  // Phases 2–4 straight over the packed key bytes (kPaper, no witness).
+  template <typename Sink>
+  void expand_fast(size_t appended_mask, bool seed_pop, Sink&& sink) {
+    base_key_ = encode<Shape>(base_, napps_);
+
+    // Hoisted per-pop constants. Base waiters are gathered in ascending
+    // app index with their remaining deadlines; a freshly disturbed app's
+    // remaining deadline is its full T*w (elapsed resets to 0).
+    bw_idx_.clear();
+    bw_rem_.clear();
+    int base_best = INT32_MAX;
+    for (size_t i = 0; i < napps_; ++i) {
+      if (base_[i].loc != kWait) continue;
+      const int remaining = apps_[i].t_star_w - base_[i].elapsed;
+      TTDIM_CHECK(remaining >= 0);
+      bw_idx_.push_back(i);
+      bw_rem_.push_back(remaining);
+      base_best = std::min(base_best, remaining);
+    }
+    dist_rem_.clear();
+    disturb_b0_.clear();  // disturbed mode byte: kWait + bumped budget
+    for (size_t b = 0; b < steady_.size(); ++b) {
+      const size_t i = steady_[b];
+      dist_rem_.push_back(apps_[i].t_star_w);
+      const uint8_t dist =
+          static_cast<uint8_t>(base_[i].dist_count + (bounded_ ? 1 : 0));
+      disturb_b0_.push_back(static_cast<uint8_t>(kWait | (dist << 2)));
+    }
+
+    // The occupant's fate is subset-invariant except through "is any
+    // waiter present": eviction always fires, preemption fires iff a
+    // waiter exists (kPaper never postpones). Its leave bytes are a
+    // constant triple.
+    bool evict = false;
+    bool preempt_on_waiter = false;
+    uint8_t leave_b0 = 0;
+    uint8_t leave_b1 = 0;
+    if (occupant0_ >= 0) {
+      const size_t o = static_cast<size_t>(occupant0_);
+      evict = occ_ct_ == occ_dtp_;
+      preempt_on_waiter = !evict && occ_ct_ >= occ_dtm_;
+      const AppState& ost = base_[o];
+      if (ost.elapsed >= apps_[o].min_interarrival) {
+        leave_b0 = static_cast<uint8_t>(kSteady | (ost.dist_count << 2));
+        leave_b1 = 0;
+      } else {
+        leave_b0 = static_cast<uint8_t>(kSafe | (ost.dist_count << 2));
+        leave_b1 = ost.elapsed;
+      }
+    }
+
+    const size_t subsets = size_t{1} << steady_.size();
+    for (size_t mask = 0; mask < subsets; ++mask) {
+      if (seed_pop && (mask & appended_mask) == 0) continue;
+      out_key_ = base_key_;  // word-level copy of the packed encoding
+      uint8_t* b = out_key_.data();
+      for (size_t bits = mask; bits != 0; bits &= bits - 1) {
+        const size_t bi = ctz(bits);
+        const size_t app = steady_[bi];
+        b[3 * app] = disturb_b0_[bi];
+        b[3 * app + 1] = 0;  // wt_grant byte is already 0 for steady apps
+      }
+
+      const bool any_waiter = !bw_idx_.empty() || mask != 0;
+      bool slot_free = occupant0_ < 0;
+      if (!slot_free && (evict || (preempt_on_waiter && any_waiter))) {
+        uint8_t* ob = b + 3 * static_cast<size_t>(occupant0_);
+        ob[0] = leave_b0;
+        ob[1] = leave_b1;
+        ob[2] = 0;
+        slot_free = true;
+      }
+
+      if (slot_free) {
+        int best = base_best;
+        for (size_t bits = mask; bits != 0; bits &= bits - 1)
+          best = std::min(best, dist_rem_[ctz(bits)]);
+        if (best != INT32_MAX) {
+          // Tie candidates in ascending app index — the exact order the
+          // reference scan produces — by merging the two sorted waiter
+          // streams (base waiters and this subset's fresh waiters are
+          // disjoint).
+          size_t wi = 0;
+          size_t bits = mask;
+          while (wi < bw_idx_.size() || bits != 0) {
+            const size_t app_w = wi < bw_idx_.size() ? bw_idx_[wi] : SIZE_MAX;
+            const size_t bi = bits != 0 ? ctz(bits) : 0;
+            const size_t app_d = bits != 0 ? steady_[bi] : SIZE_MAX;
+            size_t app;
+            int remaining;
+            if (app_w < app_d) {
+              app = app_w;
+              remaining = bw_rem_[wi];
+              ++wi;
+            } else {
+              app = app_d;
+              remaining = dist_rem_[bi];
+              bits &= bits - 1;
+            }
+            if (remaining != best) continue;
+            grant_key_ = out_key_;
+            uint8_t* gb = grant_key_.data() + 3 * app;
+            gb[0] = static_cast<uint8_t>((gb[0] & ~0x03) | kTt);
+            gb[2] = gb[1];  // wt_grant := elapsed at grant time
+            sink(std::move(grant_key_));
+          }
+          continue;  // grant branches cover this subset
+        }
+      }
+      sink(Key(out_key_));
+    }
+  }
+
+  const std::vector<AppTiming>& apps_;
+  const DiscreteVerifier::Options& options_;
+  const size_t napps_;
+  const bool bounded_;
+
+  // Post-elapse facts of the state being expanded.
+  State base_;
+  int occupant0_ = -1;
+  int occ_ct_ = 0;
+  int occ_dtm_ = 0;
+  int occ_dtp_ = 0;
+  size_t base_waiters_ = 0;
+  std::vector<size_t> steady_;
+
+  // Generic-path scratch.
+  State s_;
+  State granted_;
+  std::vector<size_t> candidates_;
+  std::vector<WaiterView> waiters_;
+
+  // Fast-path scratch.
+  Key base_key_;
+  Key out_key_;
+  Key grant_key_;
+  std::vector<size_t> bw_idx_;
+  std::vector<int> bw_rem_;
+  std::vector<int> dist_rem_;
+  std::vector<uint8_t> disturb_b0_;
+};
+
 template <typename Shape>
 SlotVerdict run_search(const std::vector<AppTiming>& apps,
                        const DiscreteVerifier::Options& options,
                        const ExplorationState* extend_from,
                        ExplorationState* capture) {
   using Key = typename Shape::Key;
-  using State = typename Shape::State;
 
   const size_t napps = apps.size();
   TTDIM_EXPECTS(napps >= 1 && napps <= Shape::kKeyApps);
-  const bool bounded = options.max_disturbances_per_app >= 0;
   // The packed key stores the budget in 6 bits.
   TTDIM_EXPECTS(options.max_disturbances_per_app <= 62);
   // Prefix extension and snapshot capture rely on the FIFO queue doubling
@@ -290,15 +587,6 @@ SlotVerdict run_search(const std::vector<AppTiming>& apps,
     queue.push_back(init_key);
   }
 
-  auto emit = [&](const State& next, const Key& from,
-                  const std::string& action, WitnessTick tick) {
-    Key key = encode<Shape>(next, napps);
-    if (!visited.insert(key)) return;
-    if (options.want_witness)
-      parent.emplace(key, Parenthood{from, action, std::move(tick)});
-    queue.push_back(std::move(key));
-  };
-
   auto build_witness = [&](const Key& leaf_key,
                            const std::string& final_action) {
     std::vector<std::string> steps{final_action};
@@ -316,14 +604,40 @@ SlotVerdict run_search(const std::vector<AppTiming>& apps,
     return steps;
   };
 
-  State base = Shape::blank(napps);
-  State s = Shape::blank(napps);
-  State granted = Shape::blank(napps);
-  std::vector<size_t> steady;
-  std::vector<size_t> candidates;
+  Expander<Shape> expander(apps, options);
+  Key cur_key;
+
+  // Non-witness successors route through a probe block: hashed at
+  // emission, flushed in batches — ensure_room() once per flush, software
+  // prefetch of every home slot, then the inserts in emission order.
+  // Order in == order out, so discovery order (and with it fingerprints,
+  // snapshots and the DFS stack) is byte-identical to unbatched probing;
+  // only the memory latency of the probes changes.
+  std::vector<Probe<Key>> block;
+  block.reserve(kProbeBlock);
+  auto flush = [&]() {
+    visited.ensure_room(block.size());
+    for (const Probe<Key>& p : block) visited.prefetch(p.hash);
+    for (Probe<Key>& p : block)
+      if (visited.insert_hashed(p.hash, p.key))
+        queue.push_back(std::move(p.key));
+    block.clear();
+  };
+  auto sink = [&](Key&& key) {
+    const size_t hash = VisitedSet<Key>::hash_of(key);
+    block.push_back(Probe<Key>{hash, std::move(key)});
+    if (block.size() >= kProbeBlock) flush();
+  };
+  // The witness path keeps per-emission inserts: parenthood must be
+  // recorded exactly for the keys that are genuinely new.
+  auto record_sink = [&](Key&& key, const std::string& action,
+                         WitnessTick&& tick) {
+    if (!visited.insert(key)) return;
+    parent.emplace(key, Parenthood{cur_key, action, std::move(tick)});
+    queue.push_back(std::move(key));
+  };
 
   while (head < queue.size()) {
-    Key cur_key;
     if (options.depth_first) {
       cur_key = std::move(queue.back());
       queue.pop_back();
@@ -339,201 +653,23 @@ SlotVerdict run_search(const std::vector<AppTiming>& apps,
     if (verdict.states_explored > options.max_states)
       throw std::runtime_error("DiscreteVerifier: state budget exhausted");
 
-    decode<Shape>(cur_key, napps, base);
-
-    // ---- Phase 1: one sample elapses. -----------------------------------
-    std::string phase1_action;
-    bool error_now = false;
-    for (size_t i = 0; i < napps; ++i) {
-      AppState& a = base[i];
-      switch (a.loc) {
-        case kSteady:
-          break;
-        case kWait:
-          ++a.elapsed;
-          // Clock passed T*w while still waiting: the application automaton
-          // reaches Error (paper Fig. 5).
-          if (a.elapsed > apps[i].t_star_w) {
-            error_now = true;
-            verdict.violator = static_cast<int>(i);
-            phase1_action = apps[i].name + " exceeded T*w=" +
-                            std::to_string(apps[i].t_star_w) +
-                            " while waiting";
-          }
-          break;
-        case kTt:
-          ++a.elapsed;
-          break;
-        case kSafe:
-          ++a.elapsed;
-          if (a.elapsed >= apps[i].min_interarrival) {
-            a.loc = kSteady;
-            a.elapsed = 0;
-            a.wt_grant = 0;
-          }
-          break;
-      }
-    }
-    if (error_now) {
-      // A seeded state cannot reach Error in phase 1: the prefix proof
-      // already expanded it without one, and appended (steady) apps never
-      // wait. Anything else would mean the snapshot belongs to different
-      // timings than this prefix.
-      TTDIM_CHECK(!seed_pop);
+    typename Expander<Shape>::Violation violation;
+    const bool ok =
+        options.want_witness
+            ? expander.template expand<true>(cur_key, seed_pop, prefix_napps,
+                                             violation, record_sink)
+            : expander.template expand<false>(cur_key, seed_pop, prefix_napps,
+                                              violation, sink);
+    if (!ok) {
       verdict.safe = false;
+      verdict.violator = violation.violator;
       if (options.want_witness)
-        verdict.witness = build_witness(cur_key, phase1_action);
+        verdict.witness = build_witness(cur_key, violation.action);
       return verdict;
     }
-
-    // ---- Subset-invariant occupant facts. -------------------------------
-    // A disturbance subset only moves kSteady apps to kWait, so the slot
-    // occupant, its continuous time in the slot and its dwell-row bounds
-    // are identical across all subsets of this pop — hoisted out of the
-    // expansion loop (phase 3 below consumes them).
-    int occupant0 = -1;
-    for (size_t i = 0; i < napps; ++i)
-      if (base[i].loc == kTt) {
-        TTDIM_CHECK(occupant0 < 0);  // single-slot invariant
-        occupant0 = static_cast<int>(i);
-      }
-    int occ_ct = 0, occ_dtm = 0, occ_dtp = 0;
-    if (occupant0 >= 0) {
-      const AppState& o = base[static_cast<size_t>(occupant0)];
-      occ_ct = o.elapsed - o.wt_grant;
-      occ_dtm = apps[static_cast<size_t>(occupant0)].t_minus[o.wt_grant];
-      occ_dtp = apps[static_cast<size_t>(occupant0)].t_plus[o.wt_grant];
-      TTDIM_CHECK(occ_ct >= 0 && occ_ct <= occ_dtp);
-    }
-    size_t base_waiters = 0;
-    for (size_t i = 0; i < napps; ++i)
-      if (base[i].loc == kWait) ++base_waiters;
-
-    // ---- Phase 2: nondeterministic disturbance arrivals. ----------------
-    steady.clear();
-    for (size_t i = 0; i < napps; ++i) {
-      if (base[i].loc != kSteady) continue;
-      if (bounded &&
-          base[i].dist_count >=
-              static_cast<uint8_t>(options.max_disturbances_per_app))
-        continue;
-      steady.push_back(i);
-    }
-    if (steady.size() > kMaxSteadyBranching)
-      throw std::runtime_error(
-          "DiscreteVerifier: disturbance branching too wide (" +
-          std::to_string(steady.size()) +
-          " simultaneously disturbable applications)");
-
-    // Subsets that disturb no appended application map a seeded state to
-    // another seeded state (the prefix is closed under its own
-    // transitions), so re-expanding a seed only needs the branches that
-    // involve an appended app. Skipping the rest emits nothing new by
-    // construction — the skipped successors are already in the visited
-    // set — and leaves the discovery order of genuinely new states
-    // untouched.
-    size_t appended_mask = 0;
-    if (seed_pop)
-      for (size_t b = 0; b < steady.size(); ++b)
-        if (steady[b] >= prefix_napps) appended_mask |= size_t{1} << b;
-
-    // Witness bookkeeping (action strings, tick contents) is only
-    // materialized when requested: it costs a handful of heap allocations
-    // per successor, which dominates the safe-verdict hot path otherwise.
-    const bool record = options.want_witness;
-    const size_t subsets = size_t{1} << steady.size();
-    for (size_t mask = 0; mask < subsets; ++mask) {
-      if (seed_pop && (mask & appended_mask) == 0) continue;
-      s = base;
-      std::string action;
-      if (record) action = "tick";
-      WitnessTick tick;
-      for (size_t b = 0; b < steady.size(); ++b) {
-        if (!(mask & (size_t{1} << b))) continue;
-        AppState& a = s[steady[b]];
-        a.loc = kWait;
-        a.elapsed = 0;
-        if (bounded) ++a.dist_count;
-        if (record) {
-          action += " disturb(" + apps[steady[b]].name + ")";
-          tick.disturbed.push_back(static_cast<int>(steady[b]));
-        }
-      }
-
-      // ---- Phase 3: slot occupant bookkeeping. --------------------------
-      int occupant = occupant0;
-      // Waiters in s = waiters surviving phase 1 + the just-disturbed.
-      const bool any_waiter =
-          base_waiters + std::bitset<64>(mask).count() > 0;
-      auto leave_slot = [&](size_t i, const char* why) {
-        AppState& a = s[i];
-        if (a.elapsed >= apps[i].min_interarrival) {
-          a.loc = kSteady;
-          a.elapsed = 0;
-        } else {
-          a.loc = kSafe;
-        }
-        a.wt_grant = 0;
-        if (record)
-          action += std::string(" ") + why + "(" + apps[i].name + ")";
-      };
-      if (occupant >= 0) {
-        if (occ_ct == occ_dtp) {
-          leave_slot(static_cast<size_t>(occupant), "evict");
-          occupant = -1;
-        } else if (occ_ct >= occ_dtm && any_waiter) {
-          bool preempt = true;
-          if (options.policy == SlotPolicy::kSlackAware) {
-            std::vector<WaiterView> waiters;
-            for (size_t i = 0; i < napps; ++i)
-              if (s[i].loc == kWait)
-                waiters.push_back({static_cast<int>(i), s[i].elapsed});
-            preempt = !preemption_postponable(apps, waiters, occupant);
-          }
-          if (preempt) {
-            leave_slot(static_cast<size_t>(occupant), "preempt");
-            occupant = -1;
-          }
-        }
-      }
-
-      // ---- Phase 4: grant (EDF on remaining deadline, ties explored). ---
-      if (occupant < 0) {
-        int best_remaining = INT32_MAX;
-        candidates.clear();
-        for (size_t i = 0; i < napps; ++i) {
-          if (s[i].loc != kWait) continue;
-          const int remaining = apps[i].t_star_w - s[i].elapsed;
-          TTDIM_CHECK(remaining >= 0);
-          if (remaining < best_remaining) {
-            best_remaining = remaining;
-            candidates.clear();
-            candidates.push_back(i);
-          } else if (remaining == best_remaining) {
-            candidates.push_back(i);
-          }
-        }
-        if (!candidates.empty()) {
-          for (size_t c : candidates) {
-            granted = s;
-            granted[c].loc = kTt;
-            granted[c].wt_grant = granted[c].elapsed;
-            if (record) {
-              WitnessTick grant_tick = tick;
-              grant_tick.granted = static_cast<int>(c);
-              emit(granted, cur_key,
-                   action + " grant(" + apps[c].name +
-                       ",Tw=" + std::to_string(granted[c].elapsed) + ")",
-                   std::move(grant_tick));
-            } else {
-              emit(granted, cur_key, action, {});
-            }
-          }
-          continue;  // grant branches cover this subset
-        }
-      }
-      emit(s, cur_key, action, std::move(tick));
-    }
+    // Successors must be visible before the next pop (the DFS stack pops
+    // them immediately; the BFS loop condition reads queue.size()).
+    if (!block.empty()) flush();
   }
 
   verdict.safe = true;
@@ -546,6 +682,130 @@ SlotVerdict run_search(const std::vector<AppTiming>& apps,
       capture->packed.insert(capture->packed.end(), k.data(),
                              k.data() + 3 * napps);
   }
+  return verdict;
+}
+
+/// Level-synchronous parallel BFS: each level's frontier is split into
+/// contiguous chunks on the process-wide Executor; every chunk expands
+/// its states through the same Expander the serial driver uses and
+/// deduplicates through the striped visited set (per-stripe probe
+/// buckets, one lock + one ensure_room per stripe per flush). Because
+/// dedup is exact and the expansion relation is deterministic, the set
+/// of states discovered per level — and hence the whole reachable set —
+/// is identical to serial at any thread count; only the order within a
+/// level varies. A completed safe proof therefore reports exactly the
+/// serial states_explored.
+///
+/// max_states is enforced through a shared atomic budget charged once
+/// per expanded state (the same charging rule as the serial pop
+/// counter), so budget exhaustion fires iff the serial run would have
+/// fired it. A discovered violation wins over a concurrent budget trip:
+/// reporting unsafe is always the sounder answer, and it keeps the one
+/// corner where the two events race inside a single level (only
+/// possible when the budget lands mid-level of an unsafe proof)
+/// conservative.
+template <typename Shape>
+SlotVerdict run_parallel(const std::vector<AppTiming>& apps,
+                         const DiscreteVerifier::Options& options) {
+  using Key = typename Shape::Key;
+  using Striped = detail::StripedVisitedSet<Key>;
+
+  const size_t napps = apps.size();
+  TTDIM_EXPECTS(napps >= 1 && napps <= Shape::kKeyApps);
+  TTDIM_EXPECTS(options.max_disturbances_per_app <= 62);
+
+  Striped visited;
+  std::vector<Key> frontier;
+  {
+    const Key init_key = encode<Shape>(Shape::blank(napps), napps);
+    TTDIM_CHECK(visited.insert(VisitedSet<Key>::hash_of(init_key), init_key));
+    frontier.push_back(init_key);
+  }
+
+  std::atomic<long> expanded{0};
+  std::atomic<bool> over_budget{false};
+  std::atomic<bool> error_found{false};
+  std::atomic<int> violator{-1};
+
+  engine::Executor& executor = engine::Executor::global();
+  while (!frontier.empty()) {
+    const long level_size = static_cast<long>(frontier.size());
+    const int chunks = engine::Executor::chunk_count(
+        options.proof_threads, level_size, kParallelGrain);
+    std::vector<std::vector<Key>> next(static_cast<size_t>(chunks));
+    executor.run_chunks(
+        options.proof_threads, level_size, kParallelGrain,
+        [&](int chunk, long lo, long hi) {
+          Expander<Shape> expander(apps, options);
+          std::vector<Key>& out = next[static_cast<size_t>(chunk)];
+          std::array<std::vector<Probe<Key>>, Striped::kNumStripes> buckets;
+          size_t pending = 0;
+          auto flush = [&]() {
+            for (size_t si = 0; si < Striped::kNumStripes; ++si) {
+              std::vector<Probe<Key>>& bucket = buckets[si];
+              if (bucket.empty()) continue;
+              typename Striped::Stripe& stripe = visited.stripe_at(si);
+              support::MutexLock lock(stripe.mu);
+              visited.reserve_in_stripe(stripe, bucket.size());
+              for (Probe<Key>& p : bucket)
+                if (visited.insert_in_stripe(stripe, p.hash, p.key))
+                  out.push_back(std::move(p.key));
+              bucket.clear();
+            }
+            pending = 0;
+          };
+          auto sink = [&](Key&& key) {
+            const size_t hash = VisitedSet<Key>::hash_of(key);
+            buckets[Striped::stripe_index(hash)].push_back(
+                Probe<Key>{hash, std::move(key)});
+            if (++pending >= kProbeBlock) flush();
+          };
+          typename Expander<Shape>::Violation violation;
+          for (long i = lo; i < hi; ++i) {
+            if (error_found.load(std::memory_order_relaxed) ||
+                over_budget.load(std::memory_order_relaxed))
+              return;  // another chunk already decided the proof's fate
+            const long count =
+                expanded.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (count > options.max_states) {
+              over_budget.store(true, std::memory_order_relaxed);
+              return;
+            }
+            if (!expander.template expand<false>(
+                    frontier[static_cast<size_t>(i)], /*seed_pop=*/false,
+                    /*prefix_napps=*/0, violation, sink)) {
+              int expected = -1;
+              violator.compare_exchange_strong(expected, violation.violator,
+                                               std::memory_order_relaxed);
+              error_found.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
+          if (pending > 0) flush();
+        });
+    // run_chunks is a barrier (the Executor joins every chunk), so plain
+    // loads below observe everything the workers wrote.
+    if (error_found.load()) {
+      SlotVerdict verdict;
+      verdict.safe = false;
+      verdict.violator = violator.load();
+      verdict.states_explored = expanded.load();
+      return verdict;
+    }
+    if (over_budget.load())
+      throw std::runtime_error("DiscreteVerifier: state budget exhausted");
+
+    size_t total = 0;
+    for (const std::vector<Key>& v : next) total += v.size();
+    frontier.clear();
+    frontier.reserve(total);
+    for (std::vector<Key>& v : next)
+      for (Key& k : v) frontier.push_back(std::move(k));
+  }
+
+  SlotVerdict verdict;
+  verdict.safe = true;
+  verdict.states_explored = expanded.load();
   return verdict;
 }
 
@@ -578,6 +838,19 @@ SlotVerdict DiscreteVerifier::verify(const Options& options,
                                      const ExplorationState* extend_from,
                                      ExplorationState* capture) const {
   const size_t napps = apps_.size();
+  if (options.proof_threads > 1) {
+    // The parallel driver proves fresh, non-diagnostic queries only:
+    // witnesses need parenthood, depth-first is inherently a stack walk,
+    // and snapshot capture / prefix seeding rely on the serial FIFO
+    // discovery log (header contract; callers must drop to serial for
+    // those).
+    TTDIM_EXPECTS(extend_from == nullptr && capture == nullptr);
+    TTDIM_EXPECTS(!options.want_witness && !options.depth_first);
+    if (options.backend == StateBackend::kUnpacked || napps > kMaxApps)
+      return run_parallel<HeapShape>(apps_, options);
+    if (3 * napps <= 16) return run_parallel<PackedShape<16>>(apps_, options);
+    return run_parallel<PackedShape<48>>(apps_, options);
+  }
   if (options.backend == StateBackend::kUnpacked || napps > kMaxApps)
     return run_search<HeapShape>(apps_, options, extend_from, capture);
   if (3 * napps <= 16)

@@ -175,5 +175,134 @@ TEST(DiscreteLarge, ExtensionRejectsWitnessAndDepthFirst) {
                std::logic_error);
 }
 
+// -------------------------------------------------------- parallel proofs --
+
+TEST(DiscreteLarge, ParallelMatchesSerialOnSafeConfigs) {
+  // Completed safe proofs: the parallel driver promises full structural
+  // verdict equality with serial at any thread count — same safe flag and
+  // the same states_explored, because level-synchronous exact dedup makes
+  // the count the (order-independent) reachable-set size. Checked across
+  // both packed tiers and the forced heap fallback, at 2 and 8 threads
+  // (8 on a small box exercises chunk counts far above the worker count).
+  struct Config {
+    std::vector<AppTiming> apps;
+    int bound;
+  };
+  const std::vector<Config> configs = {
+      {clones(3, 4, 1, 1, 9), 2},  // SmallKey<16> tier
+      {clones(4, 4, 1, 1, 8), 2},  // SmallKey<16> tier, ~150k states
+      {clones(5, 4, 1, 1, 8), 1},  // SmallKey<48> tier, ~123k states
+  };
+  for (size_t c = 0; c < configs.size(); ++c) {
+    const DiscreteVerifier verifier(configs[c].apps);
+    DiscreteVerifier::Options serial;
+    serial.max_disturbances_per_app = configs[c].bound;
+    const SlotVerdict reference = verifier.verify(serial);
+    ASSERT_TRUE(reference.safe) << c;
+    for (const int threads : {2, 8}) {
+      for (const bool unpacked : {false, true}) {
+        DiscreteVerifier::Options parallel = serial;
+        parallel.proof_threads = threads;
+        if (unpacked)
+          parallel.backend = DiscreteVerifier::StateBackend::kUnpacked;
+        EXPECT_EQ(verifier.verify(parallel), reference)
+            << "config " << c << " threads " << threads << " unpacked "
+            << unpacked;
+      }
+    }
+  }
+}
+
+TEST(DiscreteLarge, ParallelAgreesOnUnsafeConfigs) {
+  // Unsafe verdicts agree on `safe` and report a real violator; the
+  // violation found (and the states charged on the way) may differ —
+  // exactly like depth-first vs breadth-first, and documented as such.
+  const std::vector<AppTiming> apps = clones(5, 3, 1, 1, 8);
+  const DiscreteVerifier verifier(apps);
+  DiscreteVerifier::Options serial;
+  serial.max_disturbances_per_app = 1;
+  ASSERT_FALSE(verifier.verify(serial).safe);
+  for (const int threads : {2, 8}) {
+    DiscreteVerifier::Options parallel = serial;
+    parallel.proof_threads = threads;
+    const SlotVerdict verdict = verifier.verify(parallel);
+    EXPECT_FALSE(verdict.safe) << threads;
+    EXPECT_GE(verdict.violator, 0) << threads;
+    EXPECT_LT(verdict.violator, static_cast<int>(apps.size())) << threads;
+  }
+}
+
+TEST(DiscreteLarge, ParallelBudgetExhaustionParity) {
+  // max_states runs through a shared atomic budget with the serial
+  // charging rule (one unit per expanded state), so for a safe proof the
+  // throw fires at exactly the same budget serial fires it: the full
+  // reachable set fits, one state fewer throws — at every thread count.
+  const std::vector<AppTiming> apps = clones(4, 4, 1, 1, 8);
+  const DiscreteVerifier verifier(apps);
+  DiscreteVerifier::Options exact;
+  exact.max_disturbances_per_app = 1;
+  const SlotVerdict reference = verifier.verify(exact);
+  ASSERT_TRUE(reference.safe);
+  exact.max_states = reference.states_explored;
+  DiscreteVerifier::Options starved = exact;
+  starved.max_states = reference.states_explored - 1;
+  for (const int threads : {1, 2, 8}) {
+    exact.proof_threads = threads;
+    starved.proof_threads = threads;
+    EXPECT_EQ(verifier.verify(exact), reference) << threads;
+    EXPECT_THROW(static_cast<void>(verifier.verify(starved)),
+                 std::runtime_error)
+        << threads;
+  }
+}
+
+TEST(DiscreteLarge, ParallelHeapFallbackMatchesSerial) {
+  // Past the packed cap the parallel driver runs the same heap-backed
+  // shape as serial; a zero disturbance budget keeps the 17-app space to
+  // its single initial state while still driving the full level loop.
+  std::vector<AppTiming> apps;
+  for (int i = 0; i < 17; ++i)
+    apps.push_back(uniform_app("L" + std::to_string(i), 1 + (i % 4), 1, 1, 8));
+  const DiscreteVerifier verifier(apps);
+  DiscreteVerifier::Options options;
+  options.max_disturbances_per_app = 0;
+  const SlotVerdict reference = verifier.verify(options);
+  ASSERT_TRUE(reference.safe);
+  options.proof_threads = 8;
+  EXPECT_EQ(verifier.verify(options), reference);
+}
+
+TEST(DiscreteLarge, ParallelRejectsSerialOnlyFeatures) {
+  // Witnesses, depth-first traversal, prefix seeding and snapshot capture
+  // all depend on the serial driver's discovery order; requesting them
+  // with a thread budget is a precondition failure, never a silent
+  // serial fallback the caller can't see.
+  const std::vector<AppTiming> pair = {uniform_app("A", 3, 2, 4, 10),
+                                       uniform_app("B", 5, 1, 2, 9)};
+  ExplorationState snapshot;
+  const DiscreteVerifier::Options base;
+  ASSERT_TRUE(DiscreteVerifier({pair[0]})
+                  .verify(base, nullptr, &snapshot)
+                  .safe);
+  const DiscreteVerifier verifier(pair);
+  DiscreteVerifier::Options witness;
+  witness.proof_threads = 2;
+  witness.want_witness = true;
+  EXPECT_THROW(static_cast<void>(verifier.verify(witness)), std::logic_error);
+  DiscreteVerifier::Options dfs;
+  dfs.proof_threads = 2;
+  dfs.depth_first = true;
+  EXPECT_THROW(static_cast<void>(verifier.verify(dfs)), std::logic_error);
+  DiscreteVerifier::Options parallel;
+  parallel.proof_threads = 2;
+  EXPECT_THROW(
+      static_cast<void>(verifier.verify(parallel, &snapshot, nullptr)),
+      std::logic_error);
+  ExplorationState capture;
+  EXPECT_THROW(
+      static_cast<void>(verifier.verify(parallel, nullptr, &capture)),
+      std::logic_error);
+}
+
 }  // namespace
 }  // namespace ttdim::verify
