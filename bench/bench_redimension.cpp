@@ -1,0 +1,197 @@
+// Online re-dimensioning under churn (core/session.h): the standing
+// DimensioningSession absorbs add/remove/re-rate deltas through its warm
+// oracle, versus the only alternative a daemon without redimension()
+// has — a from-scratch core::solve of the whole population per event.
+// The report walks a seeded ChurnTrace three ways: first-sight (a fresh
+// session meeting each novel rate for the first time — re-rates still
+// pay real proofs, removals are free), steady-state warm (a session
+// whose shared caches have seen the pattern — every probe is an exact
+// hit, the daemon regime the >= 10x acceptance of ISSUE 10 describes),
+// and cold (a private-cache core::solve per event). The gated pair
+// below pins the steady-state warm redimension cost and the cold
+// per-event cost against bench/BENCH_baseline.json via
+// scripts/check_bench_regression.py.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/session.h"
+#include "engine/analysis/analysis_cache.h"
+#include "engine/oracle/snapshot_cache.h"
+#include "engine/oracle/verdict_cache.h"
+#include "engine/scenario_generator.h"
+
+namespace {
+
+using namespace ttdim;
+
+std::vector<core::AppSpec> case_study_specs() {
+  std::vector<core::AppSpec> specs;
+  for (const casestudy::App& app : casestudy::all_apps())
+    specs.push_back({app.name, app.plant, app.kt, app.ke,
+                     app.min_interarrival, app.settling_requirement});
+  return specs;
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void report() {
+  std::printf("==== Online re-dimensioning: churn walk, warm session vs "
+              "cold per-event solve ====\n");
+  const std::vector<core::AppSpec> specs = case_study_specs();
+  core::DimensioningSession session;
+  const core::Solution initial = session.solve(specs);
+  std::printf("initial solve : %s\n", initial.stats.summary().c_str());
+
+  // The same replayable event stream the fuzzer's churn differential
+  // walks: each application's first kAdd is its registration (covered by
+  // the initial solve above), every later event becomes one delta.
+  std::vector<verify::AppTiming> timings;
+  for (const core::AppSolution& app : initial.apps)
+    timings.push_back(app.timing);
+  engine::ScenarioGenerator gen(timings, 42);
+  const engine::ChurnTrace trace = gen.churn_trace(3);
+
+  // A removal that would empty the population is skipped together with
+  // its paired re-add (the fuzzer churn differential's walk alignment).
+  std::vector<core::Delta> deltas;
+  std::vector<bool> seen_first_add(specs.size(), false);
+  std::vector<bool> skip_next_add(specs.size(), false);
+  int active = static_cast<int>(specs.size());
+  for (const engine::ChurnEvent& event : trace.events) {
+    const std::size_t a = static_cast<std::size_t>(event.app);
+    core::Delta delta;
+    switch (event.kind) {
+      case engine::ChurnEventKind::kAdd: {
+        if (!seen_first_add[a]) {
+          seen_first_add[a] = true;
+          continue;
+        }
+        if (skip_next_add[a]) {
+          skip_next_add[a] = false;
+          continue;
+        }
+        core::AppSpec spec = specs[a];
+        spec.min_interarrival = event.min_interarrival;
+        delta.add.push_back(spec);
+        ++active;
+        break;
+      }
+      case engine::ChurnEventKind::kRemove:
+        if (active <= 1) {
+          skip_next_add[a] = true;
+          continue;
+        }
+        delta.remove.push_back(specs[a].name);
+        --active;
+        break;
+      case engine::ChurnEventKind::kRerate: {
+        core::AppSpec spec = specs[a];
+        spec.min_interarrival = event.min_interarrival;
+        delta.rerate.push_back(spec);
+        break;
+      }
+    }
+    deltas.push_back(std::move(delta));
+  }
+
+  const auto t_first = std::chrono::steady_clock::now();
+  long events = 0;
+  for (const core::Delta& delta : deltas) {
+    const core::Solution next = session.redimension(delta);
+    events += next.stats.redimension_events;
+  }
+  const double first_ms = ms_since(t_first);
+  std::printf("first-sight   : %ld events in %.1f ms (%.2f ms/event) — "
+              "novel re-rates pay fresh proofs\n",
+              events, first_ms, first_ms / static_cast<double>(events));
+
+  // Steady state: a session whose shared caches have already seen this
+  // churn pattern (a daemon over a recurring workload). The shadow
+  // session warms the caches untimed and materializes the populations
+  // the cold loop below re-solves; the timed walk then answers every
+  // probe from the exact tier.
+  core::SolveOptions shared_options;
+  shared_options.verdict_cache =
+      std::make_shared<engine::oracle::VerdictCache>();
+  shared_options.snapshot_cache =
+      std::make_shared<engine::oracle::SnapshotCache>();
+  shared_options.analysis_cache =
+      std::make_shared<engine::analysis::AnalysisCache>();
+  std::vector<std::vector<core::AppSpec>> populations;
+  {
+    core::DimensioningSession shadow(shared_options);
+    static_cast<void>(shadow.solve(specs));
+    for (const core::Delta& delta : deltas) {
+      static_cast<void>(shadow.redimension(delta));
+      populations.push_back(shadow.specs());
+    }
+  }
+  core::DimensioningSession steady(shared_options);
+  static_cast<void>(steady.solve(specs));
+  const auto t_steady = std::chrono::steady_clock::now();
+  for (const core::Delta& delta : deltas)
+    static_cast<void>(steady.redimension(delta));
+  const double steady_ms = ms_since(t_steady);
+  std::printf("steady-state  : %ld events in %.1f ms (%.2f ms/event), "
+              "final %s\n",
+              events, steady_ms, steady_ms / static_cast<double>(events),
+              steady.solution().stats.summary().c_str());
+
+  // The cold path pays a full private-cache solve for every population
+  // the walk visits.
+  const auto t_cold = std::chrono::steady_clock::now();
+  for (const std::vector<core::AppSpec>& population : populations)
+    static_cast<void>(core::solve(population));
+  const double cold_ms = ms_since(t_cold);
+  std::printf("cold per-event: %zu solves in %.1f ms (%.1f ms/event)\n",
+              populations.size(), cold_ms,
+              cold_ms / static_cast<double>(events));
+  std::printf("ratio         : warm redimension is %.0fx cheaper per "
+              "event steady-state (%.1fx first-sight)\n\n",
+              cold_ms / steady_ms, cold_ms / first_ms);
+}
+
+void BM_RedimensionWarmChurn(benchmark::State& state) {
+  // Steady-state warm redimension: one remove + one re-add of C6 per
+  // iteration, restoring the population each time. The removal is
+  // proof-free; the re-add first-fits through the session's warm verdict
+  // tier, so after the first iteration every probe is an exact hit.
+  const std::vector<core::AppSpec> specs = case_study_specs();
+  core::DimensioningSession session;
+  static_cast<void>(session.solve(specs));
+  core::Delta remove_c6;
+  remove_c6.remove.push_back(specs.back().name);
+  core::Delta add_c6;
+  add_c6.add.push_back(specs.back());
+  static_cast<void>(session.redimension(remove_c6));  // warm the probes
+  static_cast<void>(session.redimension(add_c6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.redimension(remove_c6));
+    benchmark::DoNotOptimize(session.redimension(add_c6));
+  }
+}
+BENCHMARK(BM_RedimensionWarmChurn)->Unit(benchmark::kMillisecond);
+
+void BM_RedimensionColdPerEvent(benchmark::State& state) {
+  // The alternative a redimension-less daemon pays for the same two
+  // events: a full from-scratch solve (private caches) per population.
+  const std::vector<core::AppSpec> specs = case_study_specs();
+  const std::vector<core::AppSpec> without_c6(specs.begin(),
+                                              specs.end() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve(without_c6));
+    benchmark::DoNotOptimize(core::solve(specs));
+  }
+}
+BENCHMARK(BM_RedimensionColdPerEvent)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+TTDIM_BENCH_MAIN(report)

@@ -1,29 +1,15 @@
 #include "core/dimensioning.h"
 
 #include <algorithm>
-#include <chrono>
-#include <exception>
 #include <optional>
-#include <stdexcept>
 
-#include "engine/analysis/analysis_cache.h"
-#include "engine/analysis/app_analysis.h"
-#include "engine/cache/disk_cache.h"
-#include "engine/cache/solution_cache.h"
-#include "engine/oracle/incremental_oracle.h"
-#include "engine/oracle/snapshot_cache.h"
-#include "engine/oracle/verdict_cache.h"
-#include "engine/parallel_for.h"
+#include "core/session.h"
+#include "engine/oracle/slot_config_key.h"
 #include "support/check.h"
 
 namespace ttdim::core {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-using engine::oracle::ms_since;
-
-constexpr const char* kSolutionDiskSpace = "solution";
 
 void encode_assignment(support::codec::Encoder& enc,
                        const mapping::SlotAssignment& assignment) {
@@ -137,234 +123,13 @@ double Solution::saving_vs_baseline() const {
 }
 
 Solution solve(const std::vector<AppSpec>& specs, const SolveOptions& options) {
-  TTDIM_EXPECTS(!specs.empty());
-  const auto t_solve = Clock::now();
-
-  // Disk-tier accounting: SolveStats reports the delta of the shared
-  // DiskCache's monotonic counters across this solve (the
-  // analysis_evictions idiom) — approximate under concurrent sharing,
-  // exact otherwise.
-  engine::cache::DiskCache* const disk = options.disk_cache.get();
-  engine::cache::DiskCacheStats disk_before;
-  if (disk != nullptr) disk_before = disk->stats();
-  const auto stamp_disk = [&](engine::oracle::SolveStats& stats) {
-    if (disk == nullptr) return;
-    const engine::cache::DiskCacheStats now = disk->stats();
-    stats.disk_hits = now.hits - disk_before.hits;
-    stats.disk_misses = now.misses - disk_before.misses;
-    stats.disk_writes = now.writes - disk_before.writes;
-    stats.disk_trims = now.trims - disk_before.trims;
-  };
-
-  // ---- Whole-solve result cache (engine/cache/solution_cache.h). ---------
-  // A hit short-circuits the entire pipeline; the returned Solution is
-  // the stored one with fresh per-request stats. The disk "solution"
-  // space sits under the memory cache, so a fresh process answers repeat
-  // requests on the first call.
-  std::optional<SolveKey> solve_key;
-  if (options.solution_cache != nullptr) {
-    solve_key = SolveKey::of(specs, options);
-    const auto serve_hit = [&](Solution out) {
-      out.stats = {};
-      out.stats.solution_hits = 1;
-      out.stats.analysis_threads =
-          engine::resolve_threads(options.analysis_threads);
-      stamp_disk(out.stats);
-      out.stats.total_ms = ms_since(t_solve);
-      return out;
-    };
-    if (auto cached = options.solution_cache->lookup(*solve_key))
-      return serve_hit(*cached);
-    if (disk != nullptr) {
-      if (const auto blob = disk->get(kSolutionDiskSpace, solve_key->canonical)) {
-        support::codec::Decoder dec(*blob);
-        Solution stored;
-        if (decode_solution(dec, stored) && dec.done()) {
-          options.solution_cache->insert(*solve_key, stored);
-          return serve_hit(std::move(stored));
-        }
-        // Undecodable payload in a structurally valid entry (e.g. a
-        // codec change without a format bump): fall through to a cold
-        // solve; the entry ages out via the trim.
-      }
-    }
-  }
-
-  Solution solution;
-
-  // ---- Per-application analysis (engine/analysis). -----------------------
-  // Stability certificates and dwell tables are pure functions of the
-  // plant/gain/spec tuple, so each app is answered by analyze_app —
-  // either from the content-addressed AnalysisCache or computed fresh and
-  // inserted; the result is byte-identical either way. Applications are
-  // independent, so the phase runs through the deterministic parallel-for
-  // (on the shared Executor pool): every app writes only its own slot and
-  // the assembled vector is identical for any thread count. The serial
-  // path stops at the first failing app in input order; the parallel path
-  // reproduces that by rethrowing the lowest-index failure.
-  std::shared_ptr<engine::analysis::AnalysisCache> analysis_cache;
-  if (options.memoize_analysis)
-    analysis_cache =
-        options.analysis_cache
-            ? options.analysis_cache
-            : std::make_shared<engine::analysis::AnalysisCache>();
-  const long evictions_before =
-      analysis_cache ? analysis_cache->stats().evictions : 0;
-  const int napps = static_cast<int>(specs.size());
-  const int threads =
-      std::min(engine::resolve_threads(options.analysis_threads), napps);
-  const int row_threads =
-      std::max(1, engine::resolve_threads(options.analysis_threads) / napps);
-  std::vector<std::optional<AppSolution>> analyzed(specs.size());
-  std::vector<std::exception_ptr> failures(specs.size());
-  std::vector<double> stability_ms(specs.size(), 0.0);
-  std::vector<double> dwell_ms(specs.size(), 0.0);
-  std::vector<char> cache_hit(specs.size(), 0);
-  const auto t_analysis = Clock::now();
-  engine::parallel_for_index(threads, napps, [&](int i) {
-    const AppSpec& spec = specs[static_cast<size_t>(i)];
-    try {
-      engine::analysis::AppAnalysisSpec aspec;
-      aspec.dwell.settling_requirement = spec.settling_requirement;
-      aspec.dwell.settling = options.settling;
-      aspec.dwell.tw_granularity = options.tw_granularity;
-      aspec.stop_on_unstable = options.require_switching_stability;
-      const engine::analysis::AppAnalysisOutcome outcome =
-          engine::analysis::analyze_app(spec.plant, spec.kt, spec.ke, aspec,
-                                        analysis_cache.get(), row_threads,
-                                        disk);
-      stability_ms[static_cast<size_t>(i)] = outcome.stability_ms;
-      dwell_ms[static_cast<size_t>(i)] = outcome.dwell_ms;
-      cache_hit[static_cast<size_t>(i)] = outcome.cache_hit ? 1 : 0;
-
-      AppSolution app{spec, {}, {}, outcome.result->stability};
-      if (options.require_switching_stability &&
-          !app.stability.switching_stable())
-        throw std::invalid_argument(
-            "solve: gain pair of " + spec.name +
-            " is not switching stable (set require_switching_stability = "
-            "false to override)");
-      // Past the stability gate the analysis always carries tables
-      // (stop_on_unstable mirrors require_switching_stability).
-      TTDIM_CHECK(outcome.result->tables_computed);
-      app.tables = outcome.result->tables;
-      if (!app.tables.feasible())
-        throw std::invalid_argument("solve: requirement of " + spec.name +
-                                    " infeasible even with zero wait");
-      app.timing = verify::make_app_timing(spec.name, app.tables,
-                                           spec.min_interarrival);
-      analyzed[static_cast<size_t>(i)] = std::move(app);
-    } catch (...) {
-      // Serial runs (the default) fail fast like the pre-oracle loop did;
-      // concurrent workers record the failure and let in-flight siblings
-      // drain, then the lowest-index one is rethrown below.
-      if (threads <= 1) throw;
-      failures[static_cast<size_t>(i)] = std::current_exception();
-    }
-  });
-  for (const std::exception_ptr& failure : failures)
-    if (failure) std::rethrow_exception(failure);
-  solution.stats.analysis_ms = ms_since(t_analysis);
-  solution.apps.reserve(specs.size());
-  for (std::optional<AppSolution>& app : analyzed)
-    solution.apps.push_back(std::move(*app));
-  solution.stats.analysis_threads =
-      engine::resolve_threads(options.analysis_threads);
-  for (double v : stability_ms) solution.stats.stability_ms += v;
-  for (double v : dwell_ms) solution.stats.dwell_ms += v;
-  for (char hit : cache_hit)
-    (hit ? solution.stats.analysis_hits : solution.stats.analysis_misses)++;
-  if (analysis_cache)
-    solution.stats.analysis_evictions =
-        analysis_cache->stats().evictions - evictions_before;
-
-  // ---- Proposed mapping: first-fit + model checking, routed through the
-  // memoized admission oracle (engine/oracle). ------------------------------
-  std::vector<verify::AppTiming> timings;
-  timings.reserve(solution.apps.size());
-  for (const AppSolution& a : solution.apps) timings.push_back(a.timing);
-
-  const std::vector<int> order = mapping::paper_sort_order(timings);
-  verify::DiscreteVerifier::Options vopt;
-  vopt.max_disturbances_per_app = options.max_disturbances_per_app;
-  vopt.policy = options.policy;
-  vopt.proof_threads = engine::resolve_threads(options.proof_threads);
-  std::shared_ptr<engine::oracle::VerdictCache> cache;
-  if (options.memoize_admission)
-    cache = options.verdict_cache
-                ? options.verdict_cache
-                : std::make_shared<engine::oracle::VerdictCache>();
-  std::shared_ptr<engine::oracle::SnapshotCache> snapshots;
-  if (options.incremental_admission)
-    snapshots = options.snapshot_cache
-                    ? options.snapshot_cache
-                    : std::make_shared<engine::oracle::SnapshotCache>();
-  // Both caches disabled degrades to the reference one-fresh-proof-per-
-  // probe behaviour, so a single oracle covers the whole option matrix.
-  const engine::oracle::IncrementalAdmissionOracle oracle(
-      vopt, cache, snapshots, options.subsumption_admission,
-      options.disk_cache);
-  const auto t_mapping = Clock::now();
-  solution.proposed = mapping::first_fit(timings, order, oracle.slot_oracle());
-  solution.stats.mapping_ms = ms_since(t_mapping);
-  solution.stats.oracle_calls = oracle.calls();
-  solution.stats.cache_hits = oracle.exact_hits();
-  solution.stats.subsumption_hits = oracle.subsumption_hits();
-  solution.stats.subsumption_cuts = oracle.subsumption_cuts();
-  solution.stats.cache_misses = oracle.misses();
-  solution.stats.verifier_states = oracle.states_explored();
-  solution.stats.prefix_hits = oracle.prefix_hits();
-  solution.stats.states_reused = oracle.states_reused();
-  solution.stats.states_extended = oracle.states_extended();
-  solution.stats.parallel_proofs = oracle.parallel_proofs();
-  solution.stats.proof_threads = vopt.proof_threads;
-
-  // ---- Baseline mappings ([9]). -------------------------------------------
-  const auto t_baseline = Clock::now();
-  std::vector<sched::BaselineApp> baseline_apps;
-  baseline_apps.reserve(solution.apps.size());
-  for (const AppSolution& a : solution.apps)
-    baseline_apps.push_back(
-        sched::make_baseline_app(a.timing, a.tables.settling_tt));
-
-  const auto baseline_oracle = [&](sched::BaselineStrategy strategy) {
-    return [&baseline_apps, &timings, strategy](
-               const std::vector<verify::AppTiming>& slot_apps) {
-      std::vector<sched::BaselineApp> members;
-      for (const verify::AppTiming& t : slot_apps) {
-        const auto it = std::find_if(
-            timings.begin(), timings.end(),
-            [&t](const verify::AppTiming& x) { return x.name == t.name; });
-        TTDIM_CHECK(it != timings.end());
-        members.push_back(
-            baseline_apps[static_cast<size_t>(it - timings.begin())]);
-      }
-      return sched::analyze_baseline_slot(members, strategy).schedulable;
-    };
-  };
-  solution.baseline_np = mapping::first_fit(
-      timings, order, baseline_oracle(sched::BaselineStrategy::kNonPreemptiveDm));
-  solution.baseline_delayed = mapping::first_fit(
-      timings, order, baseline_oracle(sched::BaselineStrategy::kDelayedRequests));
-  solution.stats.baseline_ms = ms_since(t_baseline);
-
-  // ---- Publish to the whole-solve result cache. ---------------------------
-  if (solve_key) {
-    solution.stats.solution_misses = 1;
-    Solution stored = solution;
-    stored.stats = {};  // stats are per-request measurement, not result
-    if (disk != nullptr) {
-      std::string encoded;
-      support::codec::Encoder enc(encoded);
-      encode_solution(enc, stored);
-      disk->put(kSolutionDiskSpace, solve_key->canonical, encoded);
-    }
-    options.solution_cache->insert(*solve_key, std::move(stored));
-  }
-
-  stamp_disk(solution.stats);
-  solution.stats.total_ms = ms_since(t_solve);
-  return solution;
+  // One pass of a throwaway session: the session ctor materializes the
+  // same private caches this function used to build per call, so the
+  // result is byte-identical to the pre-session monolith (pinned by the
+  // golden/fingerprint tests). Long-lived callers that want warm
+  // re-dimensioning hold a DimensioningSession instead.
+  DimensioningSession session(options);
+  return session.solve(specs);
 }
 
 CoSimResult cosimulate(const std::vector<AppSolution>& apps,

@@ -198,6 +198,9 @@ void encode_solution(support::codec::Encoder& enc, const Solution& solution);
 
 /// Run the full pipeline. Throws std::invalid_argument when a requirement
 /// is unmeetable or (if required) a gain pair lacks switching stability.
+/// One pass of a throwaway DimensioningSession (core/session.h) under
+/// the hood — long-lived callers that re-dimension under churn hold a
+/// session instead and call its solve()/redimension().
 [[nodiscard]] Solution solve(const std::vector<AppSpec>& specs,
                              const SolveOptions& options = {});
 

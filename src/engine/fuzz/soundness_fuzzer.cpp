@@ -14,6 +14,7 @@
 
 #include "casestudy/apps.h"
 #include "core/dimensioning.h"
+#include "core/session.h"
 #include "engine/analysis/analysis_cache.h"
 #include "engine/cache/disk_cache.h"
 #include "engine/cache/solution_cache.h"
@@ -753,6 +754,243 @@ void run_solve_check(long it, const FuzzConfig& config, FamilyCaches& family,
   }
 }
 
+/// Name-level slot memberships, in slot/member order: the index-free view
+/// that survives redimension's removal renumbering (shared idiom with
+/// tests/redimension_test.cpp).
+std::vector<std::vector<std::string>> slot_names_of(
+    const core::Solution& solution) {
+  std::vector<std::vector<std::string>> names;
+  for (const std::vector<int>& slot : solution.proposed.slots) {
+    std::vector<std::string> members;
+    for (const int m : slot)
+      members.push_back(solution.apps[static_cast<std::size_t>(m)].spec.name);
+    names.push_back(std::move(members));
+  }
+  return names;
+}
+
+void note_churn_disagreement(long it, const std::string& what,
+                             FuzzReport& report) {
+  ++report.disagreements;
+  std::ostringstream line;
+  line << "churn check at iteration " << it << ": " << what;
+  report.disagreement_summaries.push_back(line.str());
+}
+
+/// Every solve_every-th iteration, alongside run_solve_check: the online
+/// re-dimensioning differential. A DimensioningSession solves a perturbed
+/// case-study population, then walks a generated ChurnTrace one event per
+/// delta. After every applied delta the standing solution must (a) pass a
+/// fresh admission proof per proposed slot — redimension's contract is
+/// "exactly the proofs a cold solve would run", so a session that drifted
+/// from its own oracle shows up here; (b) for removal-only deltas, be
+/// proof-free (zero oracle traffic — antitone admission) and name-level
+/// byte-identical on the remaining slots; (c) keep the bookkeeping
+/// invariant removals + refits + new_slots = events. The walk ends with a
+/// from-scratch core::solve of the final population: it must succeed, and
+/// its per-application analysis artefacts must equal the session's
+/// (analysis is a pure function of the spec, however it was reached).
+void run_churn_check(long it, const FuzzConfig& config, FamilyCaches& family,
+                     FuzzReport& report) {
+  std::mt19937_64 rng(splitmix64(
+      config.seed ^
+      (0xD6E8FEB86659FD93ull * static_cast<std::uint64_t>(it + 5))));
+  const std::vector<casestudy::App> pool = casestudy::all_apps();
+  const int k = pick(rng, 2, 3);
+  std::vector<int> idx(pool.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  for (int j = 0; j < k; ++j)
+    std::swap(idx[static_cast<std::size_t>(j)],
+              idx[static_cast<std::size_t>(
+                  pick(rng, j, static_cast<int>(idx.size()) - 1))]);
+
+  std::vector<core::AppSpec> specs;
+  for (int j = 0; j < k; ++j) {
+    const casestudy::App& app = pool[static_cast<std::size_t>(idx[j])];
+    // Loosening-only perturbation keeps the requirements meetable (the
+    // run_solve_check idiom).
+    specs.push_back(core::AppSpec{
+        app.name, app.plant, app.kt, app.ke,
+        app.min_interarrival + pick(rng, 0, 20),
+        app.settling_requirement + pick(rng, 0, 10)});
+  }
+
+  core::SolveOptions opts;
+  opts.max_disturbances_per_app = 1;
+  opts.analysis_cache = family.analysis;
+  opts.verdict_cache = family.verdicts;
+  opts.snapshot_cache = family.snapshots;
+  opts.disk_cache = family.disk;
+  core::DimensioningSession session(opts);
+  core::Solution standing;
+  try {
+    standing = session.solve(specs);
+  } catch (const std::invalid_argument&) {
+    // The loosening perturbation can push an application's tolerable
+    // wait past its (also loosened) rate — an infeasible population,
+    // not a harness finding. run_solve_check records the same outcome
+    // as a consistent "error:" across its variants.
+    return;
+  }
+  ++report.redimension_checks;
+
+  verify::DiscreteVerifier::Options vopt;
+  vopt.max_disturbances_per_app = opts.max_disturbances_per_app;
+  vopt.policy = opts.policy;
+  vopt.max_states = 2'000'000;
+
+  Population timings;
+  for (const core::AppSolution& app : standing.apps)
+    timings.push_back(app.timing);
+  ScenarioGenerator gen(
+      timings,
+      splitmix64(config.seed ^
+                 (0x2545F4914F6CDD1Dull * static_cast<std::uint64_t>(it + 7))));
+  const ChurnTrace trace = gen.churn_trace(pick(rng, 2, 3));
+
+  // The initial solve already registered every application, so each
+  // application's first kAdd (its trace registration) is skipped; from
+  // then on the trace lifecycle (remove -> add -> rerate...) maps one to
+  // one onto single-event deltas. A removal that would empty the
+  // population is skipped together with its paired re-add, keeping the
+  // walk aligned with the trace lifecycle.
+  std::vector<bool> seen_first_add(specs.size(), false);
+  std::vector<bool> skip_next_add(specs.size(), false);
+  int active = k;
+  for (const ChurnEvent& event : trace.events) {
+    const std::size_t a = static_cast<std::size_t>(event.app);
+    core::Delta delta;
+    switch (event.kind) {
+      case ChurnEventKind::kAdd: {
+        if (!seen_first_add[a]) {
+          seen_first_add[a] = true;
+          continue;
+        }
+        if (skip_next_add[a]) {
+          skip_next_add[a] = false;
+          continue;
+        }
+        core::AppSpec spec = specs[a];
+        spec.min_interarrival = event.min_interarrival;
+        delta.add.push_back(std::move(spec));
+        ++active;
+        break;
+      }
+      case ChurnEventKind::kRemove: {
+        if (active <= 1) {  // a delta must not empty the population
+          skip_next_add[a] = true;
+          continue;
+        }
+        delta.remove.push_back(specs[a].name);
+        --active;
+        break;
+      }
+      case ChurnEventKind::kRerate: {
+        core::AppSpec spec = specs[a];
+        spec.min_interarrival = event.min_interarrival;
+        delta.rerate.push_back(std::move(spec));
+        break;
+      }
+    }
+
+    const std::vector<std::vector<std::string>> before =
+        slot_names_of(standing);
+    core::Solution next;
+    try {
+      next = session.redimension(delta);
+    } catch (const std::exception& e) {
+      note_churn_disagreement(
+          it,
+          std::string("redimension threw on a well-formed ") +
+              churn_event_kind_name(event.kind) + " delta: " + e.what(),
+          report);
+      return;
+    }
+    ++report.redimension_events;
+
+    const oracle::SolveStats& stats = next.stats;
+    if (stats.redimension_removals + stats.redimension_refits +
+            stats.redimension_new_slots !=
+        stats.redimension_events)
+      note_churn_disagreement(it, "redimension counters do not balance",
+                              report);
+
+    if (event.kind == ChurnEventKind::kRemove) {
+      // Removal-only deltas are proof-free and byte-identical on the
+      // remaining slots.
+      if (stats.oracle_calls != 0 || stats.verifier_states != 0)
+        note_churn_disagreement(
+            it, "removal-only delta generated oracle traffic", report);
+      std::vector<std::vector<std::string>> expected = before;
+      for (std::vector<std::string>& slot : expected)
+        slot.erase(std::remove(slot.begin(), slot.end(), specs[a].name),
+                   slot.end());
+      expected.erase(
+          std::remove_if(expected.begin(), expected.end(),
+                         [](const std::vector<std::string>& slot) {
+                           return slot.empty();
+                         }),
+          expected.end());
+      if (slot_names_of(next) != expected)
+        note_churn_disagreement(
+            it, "removal-only delta changed the remaining slots", report);
+    }
+
+    // Fresh admission proof per proposed slot: the standing assignment
+    // must always be one a cold verifier accepts.
+    for (std::size_t s = 0; s < next.proposed.slots.size(); ++s) {
+      Population population;
+      for (const int m : next.proposed.slots[s])
+        population.push_back(next.apps[static_cast<std::size_t>(m)].timing);
+      const std::optional<verify::SlotVerdict> fresh =
+          guarded_verify(population, vopt, false);
+      if (!fresh) {
+        ++report.skipped_budget;
+        continue;
+      }
+      if (!fresh->safe)
+        note_churn_disagreement(
+            it,
+            "standing slot " + std::to_string(s) +
+                " fails its fresh admission proof after a " +
+                churn_event_kind_name(event.kind) + " delta",
+            report);
+    }
+
+    standing = std::move(next);
+  }
+
+  // From-scratch cross-check of the final population: the churned specs
+  // must still solve, and analysis purity means the fresh solve's
+  // per-application artefacts equal the session's, whatever path the
+  // session took to get here. (The assignments may differ — the standing
+  // one is history-dependent by design — so they are not compared.)
+  try {
+    const core::Solution fresh = core::solve(session.specs(), opts);
+    for (const core::AppSolution& app : fresh.apps) {
+      const core::AppSolution* mine = nullptr;
+      for (const core::AppSolution& candidate : standing.apps)
+        if (candidate.spec.name == app.spec.name) mine = &candidate;
+      if (mine == nullptr ||
+          mine->timing.t_star_w != app.timing.t_star_w ||
+          mine->timing.t_minus != app.timing.t_minus ||
+          mine->timing.t_plus != app.timing.t_plus ||
+          mine->timing.min_interarrival != app.timing.min_interarrival) {
+        note_churn_disagreement(
+            it,
+            "from-scratch solve analysis differs for " + app.spec.name,
+            report);
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    note_churn_disagreement(
+        it,
+        std::string("from-scratch solve of the churned population threw: ") +
+            e.what(),
+        report);
+  }
+}
+
 }  // namespace
 
 sched::Scenario witness_scenario(const verify::SlotVerdict& verdict,
@@ -815,6 +1053,8 @@ std::vector<std::string> FuzzReport::missing_coverage() const {
     if (count == 0) missing.push_back(std::string("tier:") + name);
   if (disk_enabled && disk_hits == 0) missing.push_back("tier:disk");
   if (parallel_checks == 0) missing.push_back("config:parallel");
+  if (redimension_expected && redimension_checks == 0)
+    missing.push_back("config:redimension");
   std::vector<std::string> kinds;
   for (const ScenarioKind kind : kAllScenarioKinds)
     kinds.emplace_back(scenario_kind_name(kind));
@@ -844,6 +1084,8 @@ std::string FuzzReport::to_string() const {
   out << "tier fresh " << fresh_proofs << "\n";
   if (disk_enabled) out << "tier disk " << disk_hits << "\n";
   out << "parallel_checks " << parallel_checks << "\n";
+  out << "redimension_checks " << redimension_checks << "\n";
+  out << "redimension_events " << redimension_events << "\n";
   for (const auto& [kind, count] : scenario_kind_counts)
     out << "kind " << kind << " " << count << "\n";
   out << "disagreements " << disagreements << "\n";
@@ -865,6 +1107,7 @@ FuzzReport run_soundness_fuzz(const FuzzConfig& config) {
     family.disk = std::make_shared<cache::DiskCache>(config.disk_cache_dir);
     report.disk_enabled = true;
   }
+  report.redimension_expected = config.solve_every > 0;
   const auto start = std::chrono::steady_clock::now();
   for (long it = 0; it < config.iterations; ++it) {
     if (config.max_seconds > 0) {
@@ -876,8 +1119,10 @@ FuzzReport run_soundness_fuzz(const FuzzConfig& config) {
     }
     ++report.iterations;
     run_iteration(it, config, family, report);
-    if (config.solve_every > 0 && (it + 1) % config.solve_every == 0)
+    if (config.solve_every > 0 && (it + 1) % config.solve_every == 0) {
       run_solve_check(it, config, family, report);
+      run_churn_check(it, config, family, report);
+    }
   }
   return report;
 }

@@ -29,7 +29,12 @@
 //   5. every solve_every-th iteration, runs the full core::solve pipeline
 //      on perturbed case-study specs under toggled SolveOptions and
 //      requires byte-identical fingerprints, then co-simulates the
-//      proposed slots.
+//      proposed slots; on the same cadence it walks a generated
+//      ChurnTrace through a DimensioningSession (core/session.h),
+//      cross-checking every redimensioned standing solution against
+//      fresh admission proofs (removal-only deltas additionally against
+//      proof-freeness and name-level byte-identity) and the final
+//      population against a from-scratch solve.
 //
 // Any disagreement is greedily shrunk (drop applications, truncate
 // arrivals, clamp the horizon) to a minimal counterexample and serialized
@@ -118,6 +123,23 @@ struct FuzzReport {
   /// completed safe). Zero is a coverage gap ("config:parallel") — the
   /// parallel driver must never silently drop out of the campaign.
   long parallel_checks = 0;
+  /// Churn differential walks performed (on the solve_every cadence): a
+  /// DimensioningSession's standing solution is driven through a
+  /// generated ChurnTrace and after every applied delta (a) each
+  /// proposed slot must pass a fresh admission proof, (b) removal-only
+  /// deltas must be proof-free and name-level byte-identical on the
+  /// remaining slots, and (c) the final population must re-solve from
+  /// scratch with per-application analysis artefacts identical to the
+  /// session's. Zero while expected is a coverage gap
+  /// ("config:redimension") — like parallel_checks, the redimension path
+  /// must never silently drop out of the campaign.
+  long redimension_checks = 0;
+  /// Deltas applied across all churn walks (each walk applies one delta
+  /// per usable trace event).
+  long redimension_events = 0;
+  /// Whether the campaign configuration put churn walks on the schedule
+  /// (solve_every > 0) — only then is their absence a coverage gap.
+  bool redimension_expected = false;
 
   /// Simulated scenarios by kind name (the seven ScenarioGenerator kinds
   /// plus "hyperperiod" and "witness").

@@ -6,7 +6,7 @@
 namespace ttdim::engine::oracle {
 
 std::string SolveStats::summary() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "total %.1f ms (analysis %.1f [cold: stability %.1f, dwell %.1f], "
@@ -14,13 +14,17 @@ std::string SolveStats::summary() const {
       "%ld evictions | oracle %ld calls, %ld hits, %ld misses, %ld states | "
       "subsumption %ld hits, %ld cuts | prefix %ld hits, %ld reused, "
       "%ld extended | parallel %ld proofs @%d threads | disk %ld hits, "
-      "%ld misses, %ld writes, %ld trims | solution %ld hits, %ld misses",
+      "%ld misses, %ld writes, %ld trims | solution %ld hits, %ld misses | "
+      "redim %ld events: %ld removals, %ld refits, %ld conflicts, "
+      "%ld new slots",
       total_ms, analysis_ms, stability_ms, dwell_ms, mapping_ms, baseline_ms,
       analysis_hits, analysis_misses, analysis_evictions, oracle_calls,
       cache_hits, cache_misses, verifier_states, subsumption_hits,
       subsumption_cuts, prefix_hits, states_reused, states_extended,
       parallel_proofs, proof_threads, disk_hits, disk_misses, disk_writes,
-      disk_trims, solution_hits, solution_misses);
+      disk_trims, solution_hits, solution_misses, redimension_events,
+      redimension_removals, redimension_refits, redimension_conflicts,
+      redimension_new_slots);
   return buf;
 }
 
@@ -51,6 +55,13 @@ SolveStats operator+(const SolveStats& a, const SolveStats& b) {
   out.disk_trims = a.disk_trims + b.disk_trims;
   out.solution_hits = a.solution_hits + b.solution_hits;
   out.solution_misses = a.solution_misses + b.solution_misses;
+  out.redimension_events = a.redimension_events + b.redimension_events;
+  out.redimension_removals = a.redimension_removals + b.redimension_removals;
+  out.redimension_refits = a.redimension_refits + b.redimension_refits;
+  out.redimension_conflicts =
+      a.redimension_conflicts + b.redimension_conflicts;
+  out.redimension_new_slots =
+      a.redimension_new_slots + b.redimension_new_slots;
   out.analysis_threads = std::max(a.analysis_threads, b.analysis_threads);
   out.proof_threads = std::max(a.proof_threads, b.proof_threads);
   return out;

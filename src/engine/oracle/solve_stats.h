@@ -83,6 +83,20 @@ struct SolveStats {
   long solution_hits = 0;
   long solution_misses = 0;
 
+  // Online re-dimensioning (core::DimensioningSession::redimension):
+  // zero on a fresh solve. events counts the delta entries applied;
+  // removals are proof-free (antitone admission); refits are re-rates
+  // kept in place plus re-rates/additions first-fit into an existing
+  // slot; conflicts are re-rates whose current slot rejected the new
+  // timing (the fallback re-placement then counts as a refit or a new
+  // slot); new_slots are dedicated slots opened when no existing slot
+  // admitted. removals + refits + new_slots = events.
+  long redimension_events = 0;
+  long redimension_removals = 0;
+  long redimension_refits = 0;
+  long redimension_conflicts = 0;
+  long redimension_new_slots = 0;
+
   int analysis_threads = 1;   ///< thread budget of the per-app phase
   int proof_threads = 1;      ///< thread budget per admission proof
 

@@ -316,6 +316,72 @@ sched::Scenario ScenarioGenerator::churn(int episodes,
   return finalize(std::move(d));
 }
 
+ChurnTrace ScenarioGenerator::churn_trace(int episodes) {
+  TTDIM_EXPECTS(episodes >= 1);
+  ChurnTrace trace;
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    const verify::AppTiming& app = apps_[i];
+    const int r0 = app.min_interarrival;
+    const auto clamped = [](long long v) {
+      return static_cast<int>(
+          std::min<long long>(v, std::numeric_limits<int>::max()));
+    };
+    // Validity floor: AppTiming::validate() requires w + T+dw[w] < r for
+    // every wait, so any rate >= floor keeps the re-rated timing valid.
+    int floor_r = app.t_star_w + 1;
+    for (std::size_t w = 0; w < app.t_plus.size(); ++w)
+      floor_r = std::max(floor_r, static_cast<int>(w) + app.t_plus[w] + 1);
+    std::uniform_int_distribution<int> start_dist(0, std::max(0, r0 - 1));
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::uniform_int_distribution<int> rate_dist(
+        floor_r, std::max(floor_r, clamped(2ll * r0)));
+    const auto emit = [&](long long tick, ChurnEventKind kind, int rate) {
+      trace.events.push_back(ChurnEvent{checked_tick(tick, "churn_trace"),
+                                        kind, static_cast<int>(i), rate});
+    };
+    int r = r0;
+    long long t = start_dist(rng_);
+    emit(t, ChurnEventKind::kAdd, r0);
+    for (int e = 1; e < episodes; ++e) {
+      std::uniform_int_distribution<int> span_dist(clamped(2ll * r),
+                                                   clamped(4ll * r));
+      // Spans and pauses are >= 2 (r >= 1), so each application's own
+      // events sit on strictly increasing ticks.
+      t += span_dist(rng_);
+      if (coin(rng_) == 1) {
+        r = rate_dist(rng_);
+        emit(t, ChurnEventKind::kRerate, r);
+      } else {
+        emit(t, ChurnEventKind::kRemove, 0);
+        std::uniform_int_distribution<int> pause_dist(clamped(2ll * r),
+                                                      clamped(6ll * r));
+        t += pause_dist(rng_);
+        emit(t, ChurnEventKind::kAdd, r);
+      }
+    }
+  }
+  // (tick, app) is a total order: per-app ticks strictly increase, ties
+  // across apps break on the index.
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.tick != b.tick) return a.tick < b.tick;
+              return a.app < b.app;
+            });
+  return trace;
+}
+
+const char* churn_event_kind_name(ChurnEventKind kind) {
+  switch (kind) {
+    case ChurnEventKind::kAdd:
+      return "add";
+    case ChurnEventKind::kRemove:
+      return "remove";
+    case ChurnEventKind::kRerate:
+      return "rerate";
+  }
+  throw std::logic_error("churn_event_kind_name: unhandled kind");
+}
+
 sched::Scenario ScenarioGenerator::make(ScenarioKind kind,
                                         int instances_per_app) {
   switch (kind) {

@@ -42,6 +42,40 @@ inline constexpr ScenarioKind kAllScenarioKinds[] = {
 /// replayable corpus artifacts.
 [[nodiscard]] const char* scenario_kind_name(ScenarioKind kind);
 
+/// Registration-level churn event: what happens to an application's
+/// *membership* in the system, as opposed to the disturbance arrivals
+/// the scheduler scenarios describe.
+enum class ChurnEventKind {
+  kAdd,     ///< application (re-)registers with rate min_interarrival
+  kRemove,  ///< application departs
+  kRerate,  ///< application stays but changes its rate in place
+};
+
+/// Stable lower-case identifier ("add" / "remove" / "rerate").
+[[nodiscard]] const char* churn_event_kind_name(ChurnEventKind kind);
+
+struct ChurnEvent {
+  int tick = 0;
+  ChurnEventKind kind = ChurnEventKind::kAdd;
+  int app = 0;  ///< index into the generator's application vector
+  /// The application's min inter-arrival as of this event (kAdd carries
+  /// the registration rate, kRerate the new rate, kRemove zero). Always
+  /// >= the app's timing-validity floor max_w(w + T+dw[w]) + 1, so a
+  /// re-rated AppTiming still passes validate().
+  int min_interarrival = 0;
+};
+
+/// Replayable event-stream view of the churn kind's arrival/departure
+/// episodes: the same seed that drives churn() scheduler scenarios can
+/// drive redimension benches and fuzz campaigns through an ordered
+/// add/remove/re-rate trace. Events are sorted by (tick, app); each
+/// application's own events are strictly increasing in tick and form a
+/// well-formed lifecycle (first event kAdd; kRemove/kRerate only while
+/// registered; kAdd again only after kRemove).
+struct ChurnTrace {
+  std::vector<ChurnEvent> events;
+};
+
 class ScenarioGenerator {
  public:
   /// `apps` must each pass AppTiming::validate(); the generator keeps a
@@ -120,6 +154,23 @@ class ScenarioGenerator {
   /// throws std::invalid_argument. This is the long-horizon workload the
   /// future redimension(Solution, delta) API will be benchmarked against.
   [[nodiscard]] sched::Scenario churn(int episodes, int instances_per_episode);
+
+  /// The registration-level view of churn()'s episode structure: per
+  /// application, a kAdd at a uniform start in [0, r), then `episodes - 1`
+  /// episode boundaries. Each boundary first advances time by an active
+  /// span uniform in [2r, 4r] of the current rate, then draws a fair
+  /// coin: re-rate in place (kRerate with a new rate uniform in
+  /// [validity floor, max(floor, 2 * original r)], where the floor is
+  /// max_w(w + T+dw[w]) + 1 so the re-rated timing stays valid), or
+  /// depart and return (kRemove, then kAdd at the current rate after a
+  /// pause uniform in [2r, 6r]). PRNG consumption per application: one
+  /// start, then one span + one coin + one (rate | pause) per boundary —
+  /// deterministic under the seed like every generator here. Bounds are
+  /// computed wide and clamped like churn()'s; ticks accumulate in
+  /// 64-bit and overflow throws std::invalid_argument. Events are
+  /// returned sorted by (tick, app) — a total order, since one
+  /// application never emits two events on the same tick.
+  [[nodiscard]] ChurnTrace churn_trace(int episodes);
 
   /// Dispatch by kind (kRandom uses instances_per_app and a jitter of the
   /// largest r; kStaggered uses the smallest r as offset; coincidence

@@ -44,21 +44,21 @@ SlotAssignment fit_walk(const std::vector<AppTiming>& apps,
     TTDIM_EXPECTS(idx >= 0 && idx < static_cast<int>(apps.size()));
     int chosen = -1;
     size_t chosen_size = 0;
-    for (size_t s = 0; s < assignment.slots.size(); ++s) {
-      std::vector<int>& slot = assignment.slots[s];
-      candidate.clear();
-      candidate.reserve(slot.size() + 1);
-      for (int member : slot)
-        candidate.push_back(apps[static_cast<size_t>(member)]);
-      candidate.push_back(apps[static_cast<size_t>(idx)]);
-      if (!oracle(candidate)) continue;
-      if (!best_fit_mode) {
-        chosen = static_cast<int>(s);
-        break;
-      }
-      if (chosen < 0 || slot.size() > chosen_size) {
-        chosen = static_cast<int>(s);
-        chosen_size = slot.size();
+    if (!best_fit_mode) {
+      chosen = first_fit_placement(apps, assignment, idx, oracle);
+    } else {
+      for (size_t s = 0; s < assignment.slots.size(); ++s) {
+        std::vector<int>& slot = assignment.slots[s];
+        candidate.clear();
+        candidate.reserve(slot.size() + 1);
+        for (int member : slot)
+          candidate.push_back(apps[static_cast<size_t>(member)]);
+        candidate.push_back(apps[static_cast<size_t>(idx)]);
+        if (!oracle(candidate)) continue;
+        if (chosen < 0 || slot.size() > chosen_size) {
+          chosen = static_cast<int>(s);
+          chosen_size = slot.size();
+        }
       }
     }
     if (chosen >= 0) {
@@ -78,6 +78,25 @@ SlotAssignment first_fit(const std::vector<AppTiming>& apps,
                          const std::vector<int>& order,
                          const SlotOracle& oracle) {
   return fit_walk(apps, order, oracle, /*best_fit_mode=*/false);
+}
+
+int first_fit_placement(const std::vector<AppTiming>& apps,
+                        const SlotAssignment& assignment, int candidate,
+                        const SlotOracle& oracle) {
+  TTDIM_EXPECTS(candidate >= 0 && candidate < static_cast<int>(apps.size()));
+  std::vector<AppTiming> probe;
+  for (size_t s = 0; s < assignment.slots.size(); ++s) {
+    const std::vector<int>& slot = assignment.slots[s];
+    probe.clear();
+    probe.reserve(slot.size() + 1);
+    for (int member : slot) {
+      TTDIM_EXPECTS(member >= 0 && member < static_cast<int>(apps.size()));
+      probe.push_back(apps[static_cast<size_t>(member)]);
+    }
+    probe.push_back(apps[static_cast<size_t>(candidate)]);
+    if (oracle(probe)) return static_cast<int>(s);
+  }
+  return -1;
 }
 
 SlotAssignment best_fit(const std::vector<AppTiming>& apps,

@@ -48,6 +48,21 @@ struct SlotAssignment {
                                        const std::vector<int>& order,
                                        const SlotOracle& oracle);
 
+/// Probe-into-existing-assignment: the first-fit placement decision for
+/// one candidate against a standing assignment, without rebuilding it.
+/// Tries each slot of `assignment` in creation order with the probe
+/// "slot members in insertion order + apps[candidate] appended" (the
+/// same prefix-stable shape the walk above poses, so a warm oracle
+/// answers from its caches) and returns the index of the first admitting
+/// slot, or -1 when none admits (the caller opens a new slot — and owns
+/// the dedicated-slot admission check the walk performs). Does not
+/// modify `assignment`. This is the incremental building block of
+/// core::DimensioningSession::redimension.
+[[nodiscard]] int first_fit_placement(const std::vector<AppTiming>& apps,
+                                      const SlotAssignment& assignment,
+                                      int candidate,
+                                      const SlotOracle& oracle);
+
 /// Best-fit variant (mapping ablation): among the admitting slots pick the
 /// one with the most members (densest packing first); new slot otherwise.
 [[nodiscard]] SlotAssignment best_fit(const std::vector<AppTiming>& apps,

@@ -418,5 +418,140 @@ TEST(ScenarioGenerator, ModerateJitterClampStaysExact) {
   }
 }
 
+// ---- ChurnTrace: the replayable registration-level event stream that
+// drives redimension benches and fuzz campaigns. ---------------------------
+
+int rate_floor(const AppTiming& app) {
+  int floor_r = app.t_star_w + 1;
+  for (size_t w = 0; w < app.t_plus.size(); ++w)
+    floor_r = std::max(floor_r, static_cast<int>(w) + app.t_plus[w] + 1);
+  return floor_r;
+}
+
+TEST(ScenarioGenerator, ChurnTraceIsDeterministicUnderSeed) {
+  const std::vector<AppTiming> apps = mixed_apps();
+  const ChurnTrace a = ScenarioGenerator(apps, 17).churn_trace(5);
+  const ChurnTrace b = ScenarioGenerator(apps, 17).churn_trace(5);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].tick, b.events[i].tick);
+    EXPECT_EQ(a.events[i].kind, b.events[i].kind);
+    EXPECT_EQ(a.events[i].app, b.events[i].app);
+    EXPECT_EQ(a.events[i].min_interarrival, b.events[i].min_interarrival);
+  }
+  // A different seed must reshuffle at least one event (overwhelmingly
+  // likely with 5 episodes x 3 apps of random spans).
+  const ChurnTrace c = ScenarioGenerator(apps, 18).churn_trace(5);
+  bool differs = c.events.size() != a.events.size();
+  for (size_t i = 0; !differs && i < a.events.size(); ++i)
+    differs = a.events[i].tick != c.events[i].tick ||
+              a.events[i].kind != c.events[i].kind ||
+              a.events[i].app != c.events[i].app ||
+              a.events[i].min_interarrival != c.events[i].min_interarrival;
+  EXPECT_TRUE(differs);
+}
+
+TEST(ScenarioGenerator, ChurnTraceEventsAreSortedAndPerAppStrictlyIncreasing) {
+  const std::vector<AppTiming> apps = mixed_apps();
+  const ChurnTrace trace = ScenarioGenerator(apps, 41).churn_trace(6);
+  std::vector<int> last_tick(apps.size(), -1);
+  for (size_t i = 0; i < trace.events.size(); ++i) {
+    const ChurnEvent& e = trace.events[i];
+    ASSERT_GE(e.app, 0);
+    ASSERT_LT(e.app, static_cast<int>(apps.size()));
+    EXPECT_GE(e.tick, 0);
+    if (i > 0) {
+      const ChurnEvent& prev = trace.events[i - 1];
+      EXPECT_TRUE(prev.tick < e.tick ||
+                  (prev.tick == e.tick && prev.app < e.app))
+          << "events " << i - 1 << "/" << i << " out of (tick, app) order";
+    }
+    EXPECT_GT(e.tick, last_tick[static_cast<size_t>(e.app)])
+        << "app " << e.app << " emitted two events without advancing time";
+    last_tick[static_cast<size_t>(e.app)] = e.tick;
+  }
+}
+
+TEST(ScenarioGenerator, ChurnTraceLifecyclesAreWellFormed) {
+  const std::vector<AppTiming> apps = mixed_apps();
+  const ChurnTrace trace = ScenarioGenerator(apps, 7).churn_trace(8);
+  std::vector<char> seen(apps.size(), 0);
+  std::vector<char> present(apps.size(), 0);
+  std::vector<int> rate(apps.size(), 0);
+  for (const ChurnEvent& e : trace.events) {
+    const size_t i = static_cast<size_t>(e.app);
+    switch (e.kind) {
+      case ChurnEventKind::kAdd:
+        EXPECT_FALSE(present[i]) << "add while registered, app " << e.app;
+        if (!seen[i]) {
+          // The first registration carries the app's original rate.
+          EXPECT_EQ(e.min_interarrival, apps[i].min_interarrival);
+        } else {
+          // A return after a departure re-registers at the departing rate.
+          EXPECT_EQ(e.min_interarrival, rate[i]);
+        }
+        present[i] = 1;
+        seen[i] = 1;
+        rate[i] = e.min_interarrival;
+        break;
+      case ChurnEventKind::kRemove:
+        EXPECT_TRUE(present[i]) << "remove while absent, app " << e.app;
+        EXPECT_EQ(e.min_interarrival, 0);
+        present[i] = 0;
+        break;
+      case ChurnEventKind::kRerate:
+        EXPECT_TRUE(present[i]) << "re-rate while absent, app " << e.app;
+        present[i] = 1;
+        rate[i] = e.min_interarrival;
+        break;
+    }
+  }
+  for (size_t i = 0; i < apps.size(); ++i)
+    EXPECT_TRUE(seen[i]) << "app " << i << " never registered";
+}
+
+TEST(ScenarioGenerator, ChurnTraceRatesKeepTimingsValid) {
+  const std::vector<AppTiming> apps = mixed_apps();
+  const ChurnTrace trace = ScenarioGenerator(apps, 99).churn_trace(10);
+  for (const ChurnEvent& e : trace.events) {
+    if (e.kind == ChurnEventKind::kRemove) continue;
+    const AppTiming& app = apps[static_cast<size_t>(e.app)];
+    EXPECT_GE(e.min_interarrival, rate_floor(app));
+    EXPECT_LE(e.min_interarrival,
+              std::max(rate_floor(app), 2 * app.min_interarrival));
+    // The documented contract: substituting the event's rate into the
+    // app's timing must still pass validate().
+    AppTiming rerated = app;
+    rerated.min_interarrival = e.min_interarrival;
+    EXPECT_NO_THROW(rerated.validate()) << app.name;
+  }
+}
+
+TEST(ScenarioGenerator, ChurnTraceSingleEpisodeIsOneAddPerApp) {
+  const std::vector<AppTiming> apps = mixed_apps();
+  const ChurnTrace trace = ScenarioGenerator(apps, 3).churn_trace(1);
+  ASSERT_EQ(trace.events.size(), apps.size());
+  std::set<int> apps_seen;
+  for (const ChurnEvent& e : trace.events) {
+    EXPECT_EQ(e.kind, ChurnEventKind::kAdd);
+    EXPECT_LT(e.tick,
+              apps[static_cast<size_t>(e.app)].min_interarrival);
+    apps_seen.insert(e.app);
+  }
+  EXPECT_EQ(apps_seen.size(), apps.size());
+}
+
+TEST(ScenarioGenerator, ChurnTraceRejectsBadArgumentsAndNamesKinds) {
+  ScenarioGenerator gen(mixed_apps(), 0);
+  EXPECT_THROW(static_cast<void>(gen.churn_trace(0)), std::logic_error);
+  std::set<std::string> names;
+  for (ChurnEventKind kind : {ChurnEventKind::kAdd, ChurnEventKind::kRemove,
+                              ChurnEventKind::kRerate}) {
+    const std::string name = churn_event_kind_name(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name << " duplicated";
+  }
+}
+
 }  // namespace
 }  // namespace ttdim::engine
